@@ -1,0 +1,85 @@
+"""Engine-throughput benchmarks (not a paper artifact).
+
+These quantify the simulator itself: interactions/second of the generic
+sequential engine on each protocol, effective interactions/second of the
+exact-jump fast path, and the history-tree operations that dominate
+Sublinear-Time-SSR's cost.  They are the numbers that justify the
+fast-path design (see DESIGN.md, "repro_why" note).
+"""
+
+import pytest
+
+from repro.core.fastpath import CiwJumpSimulator, worst_case_ciw_counts
+from repro.core.rng import make_rng
+from repro.core.simulation import Simulation
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+from repro.protocols.optimal_silent import OptimalSilentSSR
+from repro.protocols.parameters import calibrated_sublinear
+from repro.protocols.sublinear.detect_collision import find_collision, merge_histories
+from repro.protocols.sublinear.protocol import SublinearTimeSSR
+
+STEPS = 20_000
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_generic_engine_ciw(benchmark, seed):
+    protocol = SilentNStateSSR(64)
+    rng = make_rng(seed, "eng-ciw")
+    sim = Simulation(protocol, protocol.random_configuration(rng), rng=rng)
+    benchmark(lambda: sim.run(STEPS))
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_generic_engine_optimal_silent(benchmark, seed):
+    protocol = OptimalSilentSSR(64)
+    rng = make_rng(seed, "eng-os")
+    sim = Simulation(protocol, protocol.random_configuration(rng), rng=rng)
+    benchmark(lambda: sim.run(STEPS))
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_generic_engine_sublinear_h1(benchmark, seed):
+    protocol = SublinearTimeSSR(32, h=1)
+    rng = make_rng(seed, "eng-sub")
+    sim = Simulation(protocol, protocol.unique_names_configuration(rng), rng=rng)
+    benchmark(lambda: sim.run(2_000))
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_fastpath_effective_interactions(benchmark, seed):
+    """The jump simulator accounts for millions of interactions per call."""
+
+    def converge():
+        sim = CiwJumpSimulator(worst_case_ciw_counts(512), make_rng(seed, "fp"))
+        return sim.run_to_convergence()
+
+    interactions = benchmark(converge)
+    assert interactions > 10_000_000  # Theta(n^3) accounted in milliseconds
+
+
+@pytest.mark.benchmark(group="tree-ops")
+def test_history_tree_merge_cost(benchmark, seed):
+    """Steady-state Protocol 7 merges on well-grown depth-2 trees."""
+    params = calibrated_sublinear(24, h=2)
+
+    class Carrier:
+        def __init__(self, name):
+            self.name = name
+            from repro.protocols.sublinear.history_tree import HistoryTree
+
+            self.tree = HistoryTree.singleton(name)
+            self.clock = 0
+
+    rng = make_rng(seed, "tree-ops")
+    agents = [Carrier(format(i, "015b")) for i in range(24)]
+    for _ in range(2_000):  # grow realistic trees
+        i, j = rng.sample(range(24), 2)
+        if not find_collision(agents[i], agents[j]):
+            merge_histories(agents[i], agents[j], params, rng)
+
+    def one_merge():
+        i, j = rng.sample(range(24), 2)
+        if not find_collision(agents[i], agents[j]):
+            merge_histories(agents[i], agents[j], params, rng)
+
+    benchmark(one_merge)

@@ -1,0 +1,61 @@
+"""Benchmarks for the probabilistic toolbox (Section 2 / Section 1.1)."""
+
+import pytest
+
+from repro.analysis.bounded_epidemic import simulate_bounded_epidemic
+from repro.analysis.coupon import simulate_slow_leader_election
+from repro.analysis.epidemic import (
+    simulate_two_way_epidemic,
+    two_way_epidemic_expected_time,
+)
+from repro.analysis.rollcall import simulate_rollcall
+from repro.core.rng import make_rng
+from repro.experiments.epidemics import run as run_epidemics
+
+
+@pytest.mark.benchmark(group="epidemics")
+def test_two_way_epidemic_n4096(benchmark, seed):
+    def cell():
+        return simulate_two_way_epidemic(4096, make_rng(seed, "ep")) / 4096
+
+    time = benchmark(cell)
+    assert time == pytest.approx(two_way_epidemic_expected_time(4096), rel=0.5)
+
+
+@pytest.mark.benchmark(group="epidemics")
+def test_bounded_epidemic_tau_n512(benchmark, seed):
+    def cell():
+        return simulate_bounded_epidemic(512, [1, 2, 3, 4], make_rng(seed, "tau"))
+
+    result = benchmark.pedantic(cell, rounds=3, iterations=1)
+    assert result.tau[1] >= result.tau[4]
+
+
+@pytest.mark.benchmark(group="epidemics")
+def test_rollcall_n512(benchmark, seed):
+    def cell():
+        return simulate_rollcall(512, make_rng(seed, "rc")) / 512
+
+    time = benchmark.pedantic(cell, rounds=3, iterations=1)
+    # ~1.5x the epidemic; allow a wide band for a single run.
+    assert 1.0 <= time / two_way_epidemic_expected_time(512) <= 2.5
+
+
+@pytest.mark.benchmark(group="epidemics")
+def test_slow_leader_election_n1024(benchmark, seed):
+    """The dormant-phase election that justifies D_max = Theta(n)."""
+
+    def cell():
+        return simulate_slow_leader_election(1024, make_rng(seed, "sle")) / 1024
+
+    time = benchmark(cell)
+    assert time == pytest.approx(1023.0, rel=0.5)
+
+
+@pytest.mark.benchmark(group="epidemics")
+def test_epidemics_full_experiment(benchmark, seed):
+    report = benchmark.pedantic(
+        lambda: run_epidemics(seed=seed, quick=True), rounds=1, iterations=1
+    )
+    failed = [name for name, check in report.checks.items() if not check.passed]
+    assert not failed, failed

@@ -1,0 +1,39 @@
+"""Benchmarks regenerating Figure 1 and Figure 2."""
+
+import pytest
+
+from repro.experiments.figure1 import (
+    ranking_completion_time,
+    run as run_figure1,
+    snapshot_at_settled_count,
+)
+from repro.experiments.figure2 import run as run_figure2
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_snapshot(benchmark, seed):
+    """The drawn situation: n = 12 ranking paused at 8 settled agents."""
+    states = benchmark(lambda: snapshot_at_settled_count(12, 8, seed))
+    assert len(states) == 12
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_ranking_completion(benchmark, seed):
+    """The caption's claim: leader-driven ranking completes in Theta(n)."""
+    time = benchmark(lambda: ranking_completion_time(64, seed, trial=0))
+    assert 0 < time < 60 * 64
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_full_experiment(benchmark, seed):
+    report = benchmark.pedantic(
+        lambda: run_figure1(seed=seed, quick=True), rounds=1, iterations=1
+    )
+    assert report.all_passed
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_full_experiment(benchmark, seed):
+    """Both worked executions, tree-for-tree, with consistency verdicts."""
+    report = benchmark(lambda: run_figure2(seed=seed, quick=True))
+    assert report.all_passed

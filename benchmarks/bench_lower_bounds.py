@@ -1,0 +1,52 @@
+"""Benchmarks for the paper's two impossibility/lower-bound arguments.
+
+* Observation 2.2 (``obs22``): the duplicated-leader silent witness must
+  wait for a direct meeting -- Omega(n) time.
+* Theorem 2.1 (``thm21``): an undersized rule run on a larger population
+  cannot keep a unique leader.
+"""
+
+import pytest
+
+from repro.experiments.observation22 import detection_time, run as run_obs22
+from repro.experiments.theorem21 import (
+    run as run_thm21,
+    time_to_leader_in_subpopulation,
+    time_to_second_leader,
+)
+
+
+@pytest.mark.benchmark(group="obs22")
+def test_obs22_detection_cell(benchmark, seed):
+    time = benchmark(lambda: detection_time(64, seed, trial=0))
+    assert time > 0
+
+
+@pytest.mark.benchmark(group="obs22")
+def test_obs22_full_experiment(benchmark, seed):
+    report = benchmark.pedantic(
+        lambda: run_obs22(seed=seed, quick=True), rounds=1, iterations=1
+    )
+    failed = [name for name, check in report.checks.items() if not check.passed]
+    assert not failed, failed
+
+
+@pytest.mark.benchmark(group="thm21")
+def test_thm21_second_leader_cell(benchmark, seed):
+    time = benchmark(lambda: time_to_second_leader(16, 24, seed, trial=0))
+    assert time > 0
+
+
+@pytest.mark.benchmark(group="thm21")
+def test_thm21_subpopulation_cell(benchmark, seed):
+    time = benchmark(lambda: time_to_leader_in_subpopulation(16, 24, seed, trial=0))
+    assert time > 0
+
+
+@pytest.mark.benchmark(group="thm21")
+def test_thm21_full_experiment(benchmark, seed):
+    report = benchmark.pedantic(
+        lambda: run_thm21(seed=seed, quick=True), rounds=1, iterations=1
+    )
+    failed = [name for name, check in report.checks.items() if not check.passed]
+    assert not failed, failed

@@ -1,0 +1,35 @@
+"""Benchmarks for Section 3: the Propagate-Reset wave."""
+
+import pytest
+
+from repro.experiments.reset_timing import run as run_reset, wave
+
+
+@pytest.mark.benchmark(group="reset")
+def test_reset_wave_n256(benchmark, seed):
+    def cell():
+        elapsed, generations = wave(256, seed, trial=0)
+        assert all(g >= 1 for g in generations)
+        return elapsed
+
+    elapsed = benchmark.pedantic(cell, rounds=3, iterations=1)
+    assert elapsed > 0
+
+
+@pytest.mark.benchmark(group="reset")
+def test_reset_wave_paper_constants_n128(benchmark, seed):
+    def cell():
+        elapsed, generations = wave(128, seed, trial=0, paper_constants=True)
+        assert generations == [1] * 128  # whp guarantee: exactly once
+        return elapsed
+
+    benchmark.pedantic(cell, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="reset")
+def test_reset_full_experiment(benchmark, seed):
+    report = benchmark.pedantic(
+        lambda: run_reset(seed=seed, quick=True), rounds=1, iterations=1
+    )
+    failed = [name for name, check in report.checks.items() if not check.passed]
+    assert not failed, failed

@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one cell of a paper table/figure (see the
+experiment index in DESIGN.md); wall-clock numbers characterize the
+*simulator*, while the scientific quantities (parallel times, shape
+checks) are asserted inside the benchmarked callables and printed by
+``python -m repro run <id>``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def seed() -> int:
+    """Root seed shared by all benchmark cells."""
+    return 1234

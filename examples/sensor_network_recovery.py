@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: a sensor fleet that heals itself.
+
+Imagine mobile sensors in a harsh environment (Section 1: rescue or
+monitoring operations) that coordinate through a leader.  Transient
+faults -- radiation, brownouts, memory corruption -- repeatedly scramble
+some sensors' memories, *undetectably*: no sensor knows whether its own
+state is garbage.
+
+A self-stabilizing protocol needs no detection and no reinitialization:
+whatever the fault did, the population converges back to a unique
+leader.  This script runs Optimal-Silent-SSR through five fault bursts
+of increasing severity (up to every agent corrupted at once) and prints
+the recovery timeline.
+
+Run:  python examples/sensor_network_recovery.py
+"""
+
+from repro import OptimalSilentSSR, Simulation, make_rng
+from repro.core.adversary import corrupted_configuration
+from repro.core.configuration import is_silent
+
+N = 24
+SEED = 77
+FAULT_BURSTS = [2, 4, 8, 16, 24]  # corrupted sensors per burst
+
+
+def stabilize(protocol, states, rng):
+    """Run to a silent correct configuration; return (time, states)."""
+    monitor = protocol.convergence_monitor()
+    sim = Simulation(protocol, states, rng=rng, monitors=[monitor])
+    while not (monitor.correct and is_silent(protocol, sim.states)):
+        sim.run(N)
+    return sim.parallel_time, list(sim.states)
+
+
+def main() -> None:
+    protocol = OptimalSilentSSR(N)
+    rng = make_rng(SEED, "sensors")
+
+    print(f"Deploying {N} sensors with arbitrary initial memory...")
+    elapsed, states = stabilize(protocol, protocol.random_configuration(rng), rng)
+    leader = next(i for i, s in enumerate(states) if protocol.is_leader(s))
+    print(f"  initial stabilization: {elapsed:6.1f} time -> leader = sensor {leader}\n")
+
+    for burst, corruptions in enumerate(FAULT_BURSTS, start=1):
+        states = corrupted_configuration(protocol, states, rng, corruptions)
+        still_correct = protocol.is_correct(states)
+        print(
+            f"FAULT BURST {burst}: {corruptions}/{N} sensors corrupted "
+            f"(ranking {'survived' if still_correct else 'destroyed'})"
+        )
+        elapsed, states = stabilize(protocol, states, rng)
+        leader = next(i for i, s in enumerate(states) if protocol.is_leader(s))
+        print(f"  recovered in {elapsed:6.1f} time -> leader = sensor {leader}")
+
+    print("\nEvery burst healed without any fault detection or manual reset:")
+    print("that is the self-stabilization guarantee (correct from ANY state).")
+
+
+if __name__ == "__main__":
+    main()

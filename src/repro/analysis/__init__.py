@@ -1,0 +1,78 @@
+"""Probabilistic tools and measurement helpers.
+
+The processes analyzed in the paper's toolbox (Section 2 and the
+Sublinear-Time-SSR intuition of Section 1.1):
+
+* :mod:`repro.analysis.epidemic` -- one-way / two-way epidemics;
+* :mod:`repro.analysis.bounded_epidemic` -- the bounded epidemic whose
+  hitting times ``tau_k = O(k * n^(1/k))`` calibrate the history-tree
+  timers;
+* :mod:`repro.analysis.rollcall` -- the all-to-all roll-call process
+  (~1.5x the epidemic time);
+* :mod:`repro.analysis.coupon` -- coupon collector and the slow
+  ``L, L -> L, F`` leader election used during dormancy;
+
+plus generic measurement machinery:
+
+* :mod:`repro.analysis.stats` -- trial summaries and tail estimates;
+* :mod:`repro.analysis.scaling` -- log-log exponent fits;
+* :mod:`repro.analysis.statecount` -- Table 1's "states" column.
+"""
+
+from repro.analysis.bounded_epidemic import (
+    BoundedEpidemicResult,
+    simulate_bounded_epidemic,
+    tau_theory,
+)
+from repro.analysis.coupon import (
+    coupon_collector_expected_time,
+    simulate_coupon_collector,
+    simulate_slow_leader_election,
+    slow_leader_election_expected_time,
+)
+from repro.analysis.epidemic import (
+    one_way_epidemic_expected_time,
+    simulate_one_way_epidemic,
+    simulate_two_way_epidemic,
+    two_way_epidemic_expected_time,
+)
+from repro.analysis.exact import (
+    expected_absorption_interactions,
+    worst_case_expected_interactions,
+)
+from repro.analysis.harmonic import harmonic
+from repro.analysis.rollcall import rollcall_expected_time_estimate, simulate_rollcall
+from repro.analysis.scaling import PowerLawFit, fit_power_law, successive_ratios
+from repro.analysis.statecount import (
+    optimal_silent_state_count,
+    silent_n_state_count,
+    sublinear_state_log2_estimate,
+)
+from repro.analysis.stats import TrialSummary, summarize_trials
+
+__all__ = [
+    "harmonic",
+    "expected_absorption_interactions",
+    "worst_case_expected_interactions",
+    "simulate_one_way_epidemic",
+    "simulate_two_way_epidemic",
+    "one_way_epidemic_expected_time",
+    "two_way_epidemic_expected_time",
+    "simulate_bounded_epidemic",
+    "BoundedEpidemicResult",
+    "tau_theory",
+    "simulate_rollcall",
+    "rollcall_expected_time_estimate",
+    "simulate_coupon_collector",
+    "coupon_collector_expected_time",
+    "simulate_slow_leader_election",
+    "slow_leader_election_expected_time",
+    "TrialSummary",
+    "summarize_trials",
+    "PowerLawFit",
+    "fit_power_law",
+    "successive_ratios",
+    "silent_n_state_count",
+    "optimal_silent_state_count",
+    "sublinear_state_log2_estimate",
+]

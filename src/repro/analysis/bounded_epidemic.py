@@ -1,0 +1,94 @@
+"""The bounded epidemic process (Section 1.1 intuition).
+
+A source agent starts at value 0, all others at "infinity"; agents
+interact by ``i, j -> i, i + 1`` whenever ``i < j`` (the responder's
+value drops to the initiator's plus one).  The hitting time ``tau_k`` of
+a fixed target agent is the first (parallel) time its value is at most
+``k`` -- i.e. it has heard from the source via a chain of at most ``k``
+interactions.
+
+The paper's key estimates, which gate Sublinear-Time-SSR's running
+time and the history-tree timers ``T_H = Theta(tau_{H+1})``:
+
+* ``E[tau_1] = Theta(n)`` (the target must meet the source directly),
+* ``E[tau_k] = O(k * n^(1/k))`` in general,
+* ``tau_k = O(log n)`` once ``k = Omega(log n)`` (epidemic paths are
+  O(log n) long with high probability).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class BoundedEpidemicResult:
+    """Hitting times of one bounded-epidemic run.
+
+    ``tau[k]`` maps each requested ``k`` to the parallel time at which
+    the target's value first dropped to ``<= k`` (interactions / n).
+    """
+
+    n: int
+    tau: Dict[int, float]
+    interactions: int
+
+
+def simulate_bounded_epidemic(
+    n: int,
+    ks: Sequence[int],
+    rng: random.Random,
+    *,
+    max_interactions: Optional[int] = None,
+) -> BoundedEpidemicResult:
+    """Run the bounded epidemic and record ``tau_k`` for each requested k.
+
+    Agent 0 is the source (value 0) and agent 1 the target.  The run
+    stops once the target's value reaches ``min(ks)``.  ``tau_k`` values
+    are recorded for every requested ``k`` as the target's value decays.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    wanted = sorted(set(ks), reverse=True)
+    if not wanted or wanted[-1] < 1:
+        raise ValueError(f"ks must be positive, got {ks!r}")
+    infinity = n + 1  # values never exceed path lengths < n
+    values: List[int] = [infinity] * n
+    values[0] = 0
+    target = 1
+    tau: Dict[int, float] = {}
+    budget = max_interactions if max_interactions is not None else 500 * n * n
+    interactions = 0
+    randrange = rng.randrange
+    while wanted:
+        if interactions >= budget:
+            raise RuntimeError(
+                f"bounded epidemic exceeded {budget} interactions (n={n})"
+            )
+        i = randrange(n)
+        j = randrange(n - 1)
+        if j >= i:
+            j += 1
+        interactions += 1
+        vi = values[i]
+        if vi < values[j]:
+            values[j] = vi + 1
+            if j == target:
+                # ``wanted`` is sorted descending: the largest thresholds
+                # are crossed first as the target's value decays.
+                while wanted and values[target] <= wanted[0]:
+                    tau[wanted.pop(0)] = interactions / n
+    return BoundedEpidemicResult(n=n, tau=tau, interactions=interactions)
+
+
+def tau_theory(n: int, k: int) -> float:
+    """The paper's upper-bound shape ``k * n^(1/k)`` (parallel time).
+
+    Constants are not specified by the paper; this is the comparison
+    curve used by the scaling checks, not a calibrated prediction.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return k * n ** (1.0 / k)

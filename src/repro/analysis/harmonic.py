@@ -1,0 +1,24 @@
+"""Harmonic numbers and related asymptotics (Section 2 notation)."""
+
+from __future__ import annotations
+
+import math
+
+#: Euler-Mascheroni constant, for the asymptotic H_k ~ ln k + gamma.
+EULER_GAMMA = 0.5772156649015329
+
+
+def harmonic(k: int) -> float:
+    """The k-th harmonic number ``H_k = sum_{i=1..k} 1/i``.
+
+    Exact summation up to moderate ``k``; the asymptotic expansion
+    ``ln k + gamma + 1/(2k) - 1/(12 k^2)`` beyond (its error there is far
+    below float precision of the direct sum).
+    """
+    if k < 0:
+        raise ValueError(f"harmonic numbers need k >= 0, got {k}")
+    if k == 0:
+        return 0.0
+    if k <= 10_000:
+        return sum(1.0 / i for i in range(1, k + 1))
+    return math.log(k) + EULER_GAMMA + 1.0 / (2 * k) - 1.0 / (12 * k * k)

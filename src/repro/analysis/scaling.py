@@ -1,0 +1,108 @@
+"""Growth-rate estimation for the shape checks.
+
+The paper's evaluation artifacts are asymptotic complexity claims, so
+the reproduction's job is to confirm *growth exponents* and *orderings*
+rather than absolute constants.  This module provides the two tools the
+experiments use:
+
+* :func:`fit_power_law` -- least-squares fit of ``y = c * x^alpha`` in
+  log-log space, returning the exponent, constant and R^2.  A Theta(n^2)
+  protocol should fit with ``alpha ~ 2``, Theta(n) with ``alpha ~ 1``
+  and Theta(log n) with ``alpha ~ 0`` (we additionally fit
+  ``y = a + b log x`` for the logarithmic cells).
+
+* :func:`successive_ratios` -- ``y(2n) / y(n)`` style doubling ratios,
+  a constant-free diagnostic (ratio ~ 4 for n^2, ~ 2 for n, ~ 1+ for
+  log n).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log-log least squares fit ``y = constant * x^exponent``."""
+
+    exponent: float
+    constant: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.constant * x**self.exponent
+
+
+def _least_squares(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Slope, intercept and R^2 of an ordinary least-squares line."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least 2 points to fit")
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("xs are all identical; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c * x^alpha`` by least squares in log-log space."""
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits need strictly positive data")
+    slope, intercept, r_squared = _least_squares(
+        [math.log(x) for x in xs], [math.log(y) for y in ys]
+    )
+    return PowerLawFit(
+        exponent=slope, constant=math.exp(intercept), r_squared=r_squared
+    )
+
+
+@dataclass(frozen=True)
+class LogFit:
+    """Result of fitting ``y = a + b * ln x`` (for Theta(log n) cells)."""
+
+    intercept: float
+    slope: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * math.log(x)
+
+
+def fit_logarithm(xs: Sequence[float], ys: Sequence[float]) -> LogFit:
+    """Fit ``y = a + b ln x`` by least squares."""
+    if any(x <= 0 for x in xs):
+        raise ValueError("logarithmic fits need strictly positive xs")
+    slope, intercept, r_squared = _least_squares([math.log(x) for x in xs], list(ys))
+    return LogFit(intercept=intercept, slope=slope, r_squared=r_squared)
+
+
+def successive_ratios(xs: Sequence[float], ys: Sequence[float]) -> List[float]:
+    """``y_{i+1} / y_i`` normalized to per-doubling of x.
+
+    For geometrically spaced ``xs`` with ratio 2 this is simply the
+    doubling ratio; for other spacings the ratio is exponentiated to the
+    per-doubling rate so that cells remain comparable.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two same-length sequences of length >= 2")
+    ratios: List[float] = []
+    for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+        if x1 <= x0:
+            raise ValueError("xs must be strictly increasing")
+        if y0 <= 0 or y1 <= 0:
+            raise ValueError("ys must be strictly positive")
+        doublings = math.log2(x1 / x0)
+        ratios.append((y1 / y0) ** (1.0 / doublings))
+    return ratios

@@ -1,0 +1,196 @@
+"""Adversarial initial configurations.
+
+Self-stabilization quantifies over *every* configuration, so the test
+battery and the experiments need principled worst-case starting points.
+This module builds them: generic constructions that work for any
+protocol (independent random states, cloned states, corrupted correct
+configurations) plus hand-crafted traps for each protocol in the paper
+(duplicate ranks, ghost names, planted name collisions, mid-reset
+limbo states, ...).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Dict, List, TypeVar
+
+from repro.core.protocol import PopulationProtocol
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+from repro.protocols.optimal_silent import (
+    LEADER,
+    OptimalSilentAgent,
+    OptimalSilentSSR,
+    Role,
+)
+from repro.protocols.sublinear.history_tree import HistoryTree
+from repro.protocols.sublinear.names import fresh_unique_names, random_name
+from repro.protocols.sublinear.protocol import (
+    SublinearAgent,
+    SublinearTimeSSR,
+    SubRole,
+)
+from repro.protocols.sync_dictionary import DictAgent, DictRole, SyncDictionarySSR
+
+S = TypeVar("S")
+
+
+def identical_configuration(
+    protocol: PopulationProtocol[S], rng: random.Random
+) -> List[S]:
+    """Every agent cloned from one random state (e.g. "all leaders")."""
+    prototype = protocol.random_state(rng)
+    return [copy.deepcopy(prototype) for _ in range(protocol.n)]
+
+
+def corrupted_configuration(
+    protocol: PopulationProtocol[S],
+    base: List[S],
+    rng: random.Random,
+    corruptions: int,
+) -> List[S]:
+    """``base`` with ``corruptions`` random agents overwritten.
+
+    Models a burst of transient faults hitting part of the population.
+    """
+    states = [copy.deepcopy(state) for state in base]
+    for index in rng.sample(range(protocol.n), min(corruptions, protocol.n)):
+        states[index] = protocol.random_state(rng)
+    return states
+
+
+def _optimal_silent_extras(
+    protocol: OptimalSilentSSR, rng: random.Random
+) -> Dict[str, List[OptimalSilentAgent]]:
+    n = protocol.n
+    extras: Dict[str, List[OptimalSilentAgent]] = {
+        "duplicate-rank": protocol.duplicate_rank_configuration(rank=1),
+        "already-ranked": protocol.ranked_configuration(),
+        "starving-unsettled": [
+            OptimalSilentAgent(role=Role.UNSETTLED, errorcount=1) for _ in range(n)
+        ],
+        "all-dormant-leaders": [
+            OptimalSilentAgent(
+                role=Role.RESETTING,
+                leader=LEADER,
+                resetcount=0,
+                delaytimer=protocol.params.reset.d_max,
+            )
+            for _ in range(n)
+        ],
+    }
+    # A single unsettled agent facing a fully settled (but rank-shifted)
+    # population: the missing rank must be discovered via error counting.
+    lonely = protocol.ranked_configuration()[: n - 1]
+    lonely.append(
+        OptimalSilentAgent(role=Role.UNSETTLED, errorcount=protocol.params.e_max)
+    )
+    extras["one-unsettled"] = lonely
+    return extras
+
+
+def _sublinear_extras(
+    protocol: SublinearTimeSSR, rng: random.Random
+) -> Dict[str, List[SublinearAgent]]:
+    n = protocol.n
+    bits = protocol.params.name_bits
+    names = fresh_unique_names(n, bits, rng)
+
+    def collecting(name: str, roster) -> SublinearAgent:
+        return SublinearAgent(
+            role=SubRole.COLLECTING,
+            name=name,
+            roster=frozenset(roster),
+            tree=HistoryTree.singleton(name),
+        )
+
+    ghost = random_name(bits, rng)
+    while ghost in names:
+        ghost = random_name(bits, rng)
+
+    extras: Dict[str, List[SublinearAgent]] = {
+        # Unique names, but a ghost planted in every roster: only the
+        # pigeonhole overflow |roster| > n can expose it.
+        "ghost-name": [
+            collecting(name, set(names[: n - 1]) | {ghost}) for name in names
+        ],
+        # Two agents share a name; every roster is otherwise honest.
+        "name-collision": [
+            collecting(name, {name}) for name in [names[0]] + names[: n - 1]
+        ],
+        # Rosters already complete and ranks already consistent: the
+        # protocol must simply not destroy it.
+        "already-ranked": [
+            SublinearAgent(
+                role=SubRole.COLLECTING,
+                name=name,
+                rank=sorted(names).index(name) + 1,
+                roster=frozenset(names),
+                tree=HistoryTree.singleton(name),
+            )
+            for name in names
+        ],
+        # Everyone mid-reset and dormant with maximal timers.
+        "all-dormant": [
+            SublinearAgent(
+                role=SubRole.RESETTING,
+                name="",
+                resetcount=0,
+                delaytimer=protocol.params.reset.d_max,
+            )
+            for _ in range(n)
+        ],
+    }
+    return extras
+
+
+def _sync_dictionary_extras(
+    protocol: SyncDictionarySSR, rng: random.Random
+) -> Dict[str, List[DictAgent]]:
+    n = protocol.n
+    bits = protocol.params.name_bits
+    names = fresh_unique_names(n, bits, rng)
+    extras: Dict[str, List[DictAgent]] = {
+        "name-collision": [
+            DictAgent(role=DictRole.COLLECTING, name=name, roster=frozenset((name,)))
+            for name in [names[0]] + names[: n - 1]
+        ],
+        "planted-syncs": [
+            DictAgent(
+                role=DictRole.COLLECTING,
+                name=name,
+                roster=frozenset((name,)),
+                syncs={names[(i + 1) % n]: rng.randint(1, protocol.params.s_max)},
+            )
+            for i, name in enumerate(names)
+        ],
+    }
+    return extras
+
+
+def adversarial_battery(
+    protocol: PopulationProtocol[S], rng: random.Random, random_configs: int = 3
+) -> Dict[str, List[S]]:
+    """A labelled battery of initial configurations for ``protocol``.
+
+    Always contains a clean start, an all-identical clone configuration
+    and ``random_configs`` independent uniform draws from the state
+    space; protocols from the paper additionally get their hand-crafted
+    traps.
+    """
+    battery: Dict[str, List[S]] = {
+        "clean": protocol.initial_configuration(rng),
+        "identical": identical_configuration(protocol, rng),
+    }
+    for index in range(random_configs):
+        battery[f"random-{index}"] = protocol.random_configuration(rng)
+
+    if isinstance(protocol, SilentNStateSSR):
+        battery["worst-case"] = protocol.worst_case_configuration()
+    if isinstance(protocol, OptimalSilentSSR):
+        battery.update(_optimal_silent_extras(protocol, rng))
+    if isinstance(protocol, SublinearTimeSSR):
+        battery.update(_sublinear_extras(protocol, rng))
+    if isinstance(protocol, SyncDictionarySSR):
+        battery.update(_sync_dictionary_extras(protocol, rng))
+    return battery

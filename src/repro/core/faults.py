@@ -1,0 +1,208 @@
+"""Transient-fault injection and recovery measurement.
+
+Self-stabilization is a statement about fault tolerance: the protocol
+recovers from *any* memory corruption, without detecting it.  This
+module turns that into a measurable, scriptable workload:
+
+* :class:`FaultInjector` corrupts agents of a running simulation --
+  overwriting their entire state with fresh draws from the protocol's
+  state space (the standard transient-fault model: the adversary may
+  write anything representable);
+* :func:`measure_recovery` runs a burst schedule against a protocol and
+  reports per-burst recovery times;
+* :class:`FaultSchedule` describes periodic or scripted burst patterns.
+
+Used by the ``faults`` experiment (availability under sustained fault
+load), the ``sensor_network_recovery`` example and the failure-injection
+test battery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, TypeVar
+
+from repro.core.configuration import is_silent
+from repro.core.simulation import Simulation
+from repro.protocols.base import RankingProtocol
+
+S = TypeVar("S")
+
+
+@dataclass(frozen=True)
+class FaultBurst:
+    """One burst: corrupt ``agents`` random agents at parallel time ``at``."""
+
+    at: float
+    agents: int
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"burst time must be >= 0, got {self.at}")
+        if self.agents < 1:
+            raise ValueError(f"burst must corrupt >= 1 agent, got {self.agents}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A sequence of bursts, ordered by time."""
+
+    bursts: Sequence[FaultBurst]
+
+    def __post_init__(self) -> None:
+        times = [burst.at for burst in self.bursts]
+        if times != sorted(times):
+            raise ValueError("bursts must be ordered by time")
+
+    @staticmethod
+    def periodic(period: float, agents: int, count: int) -> "FaultSchedule":
+        """``count`` bursts of ``agents`` corruptions, every ``period`` time."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        return FaultSchedule(
+            [FaultBurst(at=period * (i + 1), agents=agents) for i in range(count)]
+        )
+
+
+class FaultInjector:
+    """Corrupts random agents of a simulation with random states."""
+
+    def __init__(self, protocol: RankingProtocol[S], rng: random.Random):
+        self.protocol = protocol
+        self.rng = rng
+        #: Total number of agent-corruptions injected so far.
+        self.injected = 0
+
+    def strike(self, sim: Simulation[S], agents: int) -> List[int]:
+        """Overwrite ``agents`` distinct random agents; return their indices.
+
+        Monitors attached to the simulation are *not* notified through
+        the usual step callbacks (a fault is not an interaction), so any
+        incremental monitor must be re-synchronized; this method restarts
+        them via ``on_start``, which is exactly the semantics of a
+        transient fault: the world changed behind the protocol's back.
+        """
+        count = min(agents, self.protocol.n)
+        victims = self.rng.sample(range(self.protocol.n), count)
+        for index in victims:
+            sim.states[index] = self.protocol.random_state(self.rng)
+        self.injected += count
+        for monitor in sim.monitors:
+            monitor.on_start(sim.states)
+        return victims
+
+
+@dataclass
+class RecoveryRecord:
+    """Outcome of one burst: when it hit, whether/when the system recovered."""
+
+    burst: FaultBurst
+    broke_correctness: bool
+    recovered: bool
+    recovery_time: float  # parallel time from burst to re-stabilization
+
+
+@dataclass
+class RecoveryReport:
+    """All bursts of one run plus aggregate availability accounting."""
+
+    records: List[RecoveryRecord] = field(default_factory=list)
+    total_time: float = 0.0
+    correct_time: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of parallel time spent in a correct configuration."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.correct_time / self.total_time
+
+    @property
+    def worst_recovery(self) -> float:
+        recoveries = [r.recovery_time for r in self.records if r.recovered]
+        return max(recoveries) if recoveries else float("nan")
+
+
+def measure_recovery(
+    protocol: RankingProtocol[S],
+    schedule: FaultSchedule,
+    *,
+    rng: random.Random,
+    settle_time: float,
+    max_recovery_time: float,
+    initial_states: Optional[Sequence[S]] = None,
+    certify_silence: Optional[bool] = None,
+) -> RecoveryReport:
+    """Run a burst schedule and measure per-burst recovery times.
+
+    The protocol first stabilizes from ``initial_states`` (default: a
+    clean start); each burst then strikes the *stabilized* population
+    and the time back to a correct (and, for silent protocols, silent)
+    configuration is recorded.  ``settle_time`` bounds the initial
+    stabilization, ``max_recovery_time`` each recovery.
+
+    Availability accounting integrates correctness over the whole run in
+    probes of ~1 parallel time unit.
+    """
+    if certify_silence is None:
+        certify_silence = protocol.silent
+    monitor = protocol.convergence_monitor()
+    sim = Simulation(
+        protocol,
+        initial_states if initial_states is not None else None,
+        rng=rng,
+        monitors=[monitor],
+    )
+    injector = FaultInjector(protocol, rng)
+    report = RecoveryReport()
+    n = protocol.n
+
+    def stabilized() -> bool:
+        if not monitor.correct:
+            return False
+        return not certify_silence or is_silent(protocol, sim.states)
+
+    def advance_until_stable(budget_time: float) -> float:
+        """Advance to stabilization; return the parallel time it took."""
+        start = sim.parallel_time
+        deadline = start + budget_time
+        while not stabilized():
+            if sim.parallel_time >= deadline:
+                return float("nan")
+            sim.run(n)
+            report.total_time += 1.0
+            if monitor.correct:
+                report.correct_time += 1.0
+        return sim.parallel_time - start
+
+    first = advance_until_stable(settle_time)
+    if first != first:  # NaN: never settled
+        raise RuntimeError(
+            f"protocol failed to stabilize within settle_time={settle_time}"
+        )
+
+    # Bursts fire on a timeline anchored at the initial stabilization, so
+    # the population dwells (accruing availability) between bursts.
+    origin = sim.parallel_time
+    for burst in schedule.bursts:
+        while sim.parallel_time - origin < burst.at:
+            sim.run(n)
+            report.total_time += 1.0
+            if monitor.correct:
+                report.correct_time += 1.0
+        injector.strike(sim, burst.agents)
+        broke = not protocol.is_correct(sim.states)
+        elapsed = advance_until_stable(max_recovery_time)
+        recovered = elapsed == elapsed  # not NaN
+        report.records.append(
+            RecoveryRecord(
+                burst=burst,
+                broke_correctness=broke,
+                recovered=recovered,
+                recovery_time=elapsed,
+            )
+        )
+        if not recovered:
+            break
+    return report

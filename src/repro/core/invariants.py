@@ -1,0 +1,270 @@
+"""Runtime invariant checking.
+
+A protocols library lives or dies by its state-space hygiene: every
+field must stay inside its declared domain, role switches must delete
+the old role's fields, derived structures (history trees) must keep
+their structural invariants.  This module makes those checks first-class
+and pluggable:
+
+* each protocol gets an *invariant function* ``check(protocol, state) ->
+  list[str]`` returning human-readable violations (empty = clean);
+* :class:`InvariantMonitor` attaches any invariant function to a running
+  :class:`~repro.core.simulation.Simulation` and either records or raises
+  on the first violation -- the simulation-level analogue of debug
+  assertions;
+* :func:`invariant_for` resolves the right checker for a protocol
+  instance, so tests can simply write
+  ``InvariantMonitor.for_protocol(protocol)``.
+
+These checks are *supplementary* (the protocols are correct without
+them); they exist to catch regressions loudly and to document, in code,
+exactly what each role's state looks like.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TypeVar
+
+from repro.core.monitors import Monitor
+from repro.core.protocol import PopulationProtocol
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+from repro.protocols.optimal_silent import (
+    FOLLOWER,
+    LEADER,
+    OptimalSilentAgent,
+    OptimalSilentSSR,
+    Role,
+)
+from repro.protocols.propagate_reset import ResetTimingProtocol, TimingAgent, TimingRole
+from repro.protocols.sublinear.names import is_valid_name
+from repro.protocols.sublinear.protocol import (
+    SublinearAgent,
+    SublinearTimeSSR,
+    SubRole,
+)
+from repro.protocols.sync_dictionary import DictAgent, DictRole, SyncDictionarySSR
+
+S = TypeVar("S")
+
+InvariantFn = Callable[[PopulationProtocol, object], List[str]]
+
+
+class InvariantViolation(AssertionError):
+    """Raised by a strict :class:`InvariantMonitor` on the first violation."""
+
+
+# ---------------------------------------------------------------------------
+# Per-protocol invariant functions
+# ---------------------------------------------------------------------------
+
+
+def check_ciw(protocol: SilentNStateSSR, state: int) -> List[str]:
+    """Silent-n-state-SSR: the state *is* the rank, in 0..n-1."""
+    if not isinstance(state, int) or not 0 <= state < protocol.n:
+        return [f"rank {state!r} outside 0..{protocol.n - 1}"]
+    return []
+
+
+def check_optimal_silent(
+    protocol: OptimalSilentSSR, state: OptimalSilentAgent
+) -> List[str]:
+    """Optimal-Silent-SSR: role-partitioned field domains (Protocol 3)."""
+    params = protocol.params
+    problems: List[str] = []
+    if state.role is Role.SETTLED:
+        if not 1 <= state.rank <= protocol.n:
+            problems.append(f"settled rank {state.rank} outside 1..{protocol.n}")
+        if not 0 <= state.children <= 2:
+            problems.append(f"children {state.children} outside 0..2")
+    elif state.role is Role.UNSETTLED:
+        if not 0 <= state.errorcount <= params.e_max:
+            problems.append(f"errorcount {state.errorcount} outside 0..{params.e_max}")
+        if state.rank != 0 or state.children != 0:
+            problems.append("unsettled agent leaked settled fields")
+    elif state.role is Role.RESETTING:
+        if state.leader not in (LEADER, FOLLOWER):
+            problems.append(f"leader bit {state.leader!r} invalid")
+        if not 0 <= state.resetcount <= params.reset.r_max:
+            problems.append(
+                f"resetcount {state.resetcount} outside 0..{params.reset.r_max}"
+            )
+        if not 0 <= state.delaytimer <= params.reset.d_max:
+            problems.append(
+                f"delaytimer {state.delaytimer} outside 0..{params.reset.d_max}"
+            )
+        if state.resetcount > 0 and state.delaytimer != 0:
+            problems.append("propagating agent carries a delay timer")
+        if state.rank != 0 or state.children != 0 or state.errorcount != 0:
+            problems.append("resetting agent leaked computing fields")
+    else:  # pragma: no cover - exhaustive over the enum
+        problems.append(f"unknown role {state.role!r}")
+    return problems
+
+
+def check_sublinear(protocol: SublinearTimeSSR, state: SublinearAgent) -> List[str]:
+    """Sublinear-Time-SSR: names, rosters, trees and timers in domain."""
+    params = protocol.params
+    problems: List[str] = []
+    if not is_valid_name(state.name, params.name_bits):
+        problems.append(f"name {state.name!r} outside {{0,1}}^<={params.name_bits}")
+    if state.role is SubRole.COLLECTING:
+        if not 1 <= state.rank <= protocol.n:
+            problems.append(f"rank {state.rank} outside 1..{protocol.n}")
+        if len(state.roster) > protocol.n:
+            problems.append(f"roster size {len(state.roster)} exceeds n={protocol.n}")
+        for name in state.roster:
+            if not is_valid_name(name, params.name_bits):
+                problems.append(f"roster holds invalid name {name!r}")
+                break
+        if state.tree.name != state.name:
+            problems.append(
+                f"tree root {state.tree.name!r} differs from name {state.name!r}"
+            )
+        if state.tree.depth() > params.h:
+            problems.append(
+                f"tree depth {state.tree.depth()} exceeds H={params.h}"
+            )
+        for edge in state.tree.iter_edges():
+            if not 1 <= edge.sync <= params.s_max:
+                problems.append(f"sync {edge.sync} outside 1..{params.s_max}")
+                break
+            if edge.remaining(state.clock) > params.t_h:
+                problems.append(
+                    f"timer remainder {edge.remaining(state.clock)} exceeds "
+                    f"T_H={params.t_h}"
+                )
+                break
+    else:
+        if not 0 <= state.resetcount <= params.reset.r_max:
+            problems.append(
+                f"resetcount {state.resetcount} outside 0..{params.reset.r_max}"
+            )
+        if not 0 <= state.delaytimer <= params.reset.d_max:
+            problems.append(
+                f"delaytimer {state.delaytimer} outside 0..{params.reset.d_max}"
+            )
+        if state.resetcount > 0 and state.name != "":
+            # Names are cleared while the reset propagates; the clearing
+            # happens on the agent's next interaction, so only flag a
+            # propagating agent that has *grown* a name.
+            pass
+    return problems
+
+
+def check_sync_dictionary(protocol: SyncDictionarySSR, state: DictAgent) -> List[str]:
+    params = protocol.params
+    problems: List[str] = []
+    if not is_valid_name(state.name, params.name_bits):
+        problems.append(f"name {state.name!r} outside {{0,1}}^<={params.name_bits}")
+    if state.role is DictRole.COLLECTING:
+        if not 1 <= state.rank <= protocol.n:
+            problems.append(f"rank {state.rank} outside 1..{protocol.n}")
+        if len(state.roster) > protocol.n:
+            problems.append(f"roster size {len(state.roster)} exceeds n={protocol.n}")
+        for name, sync in state.syncs.items():
+            if not 1 <= sync <= params.s_max:
+                problems.append(f"sync {sync} for {name!r} outside 1..{params.s_max}")
+                break
+    else:
+        if not 0 <= state.resetcount <= params.reset.r_max:
+            problems.append(
+                f"resetcount {state.resetcount} outside 0..{params.reset.r_max}"
+            )
+        if not 0 <= state.delaytimer <= params.reset.d_max:
+            problems.append(
+                f"delaytimer {state.delaytimer} outside 0..{params.reset.d_max}"
+            )
+    return problems
+
+
+def check_reset_timing(protocol: ResetTimingProtocol, state: TimingAgent) -> List[str]:
+    problems: List[str] = []
+    if state.role is TimingRole.RESETTING:
+        if not 0 <= state.resetcount <= protocol.params.r_max:
+            problems.append(
+                f"resetcount {state.resetcount} outside 0..{protocol.params.r_max}"
+            )
+        if not 0 <= state.delaytimer <= protocol.params.d_max:
+            problems.append(
+                f"delaytimer {state.delaytimer} outside 0..{protocol.params.d_max}"
+            )
+    if state.generation < 0:
+        problems.append(f"negative generation {state.generation}")
+    return problems
+
+
+_CHECKERS = [
+    (SublinearTimeSSR, check_sublinear),
+    (SyncDictionarySSR, check_sync_dictionary),
+    (OptimalSilentSSR, check_optimal_silent),
+    (SilentNStateSSR, check_ciw),
+    (ResetTimingProtocol, check_reset_timing),
+]
+
+
+def invariant_for(protocol: PopulationProtocol) -> InvariantFn:
+    """Resolve the invariant function for a protocol instance."""
+    for protocol_type, checker in _CHECKERS:
+        if isinstance(protocol, protocol_type):
+            return checker
+    raise KeyError(f"no invariant checker registered for {type(protocol).__name__}")
+
+
+def check_configuration(
+    protocol: PopulationProtocol, states, checker: Optional[InvariantFn] = None
+) -> List[str]:
+    """Check every agent; violations are prefixed with the agent index."""
+    checker = checker or invariant_for(protocol)
+    problems: List[str] = []
+    for index, state in enumerate(states):
+        problems.extend(
+            f"agent {index}: {problem}" for problem in checker(protocol, state)
+        )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Monitor
+# ---------------------------------------------------------------------------
+
+
+class InvariantMonitor(Monitor):
+    """Checks the two participants' states after every interaction.
+
+    In ``strict`` mode the first violation raises
+    :class:`InvariantViolation` (tests); otherwise violations accumulate
+    in :attr:`violations` with the interaction index attached.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        checker: Optional[InvariantFn] = None,
+        *,
+        strict: bool = True,
+    ):
+        self.protocol = protocol
+        self.checker = checker or invariant_for(protocol)
+        self.strict = strict
+        self.violations: List[str] = []
+
+    @classmethod
+    def for_protocol(cls, protocol: PopulationProtocol, **kwargs) -> "InvariantMonitor":
+        return cls(protocol, **kwargs)
+
+    def _handle(self, step: int, index: int, state) -> None:
+        for problem in self.checker(self.protocol, state):
+            message = f"interaction {step}, agent {index}: {problem}"
+            if self.strict:
+                raise InvariantViolation(message)
+            self.violations.append(message)
+
+    def on_start(self, states) -> None:
+        # Initial configurations may be adversarial on purpose; only the
+        # protocol's *own* writes are held to the invariants, so the
+        # starting state is not checked.
+        return None
+
+    def after_step(self, step: int, i: int, j: int, state_i, state_j) -> None:
+        self._handle(step, i, state_i)
+        self._handle(step, j, state_j)

@@ -1,0 +1,132 @@
+"""The sequential simulation engine.
+
+:class:`Simulation` executes a population protocol under a scheduler,
+one interaction at a time, notifying monitors around each step.  Parallel
+time follows the paper's convention: number of interactions divided by
+the population size ``n``.
+
+For protocols whose states are small integers there is a much faster
+specialized engine in :mod:`repro.core.fastpath`; this generic engine is
+the reference implementation the fast paths are validated against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+from repro.core.errors import SimulationLimitError
+from repro.core.monitors import Monitor
+from repro.core.protocol import PopulationProtocol, check_population
+from repro.core.scheduler import Scheduler, UniformRandomScheduler
+
+S = TypeVar("S")
+
+
+class Simulation(Generic[S]):
+    """Drives one execution of a population protocol.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to execute.
+    states:
+        Initial configuration (list of ``protocol.n`` agent states).  If
+        omitted, a clean-start configuration is drawn from
+        ``protocol.initial_configuration``.
+    rng:
+        Source of randomness for both the scheduler and the (possibly
+        randomized) transition function.
+    scheduler:
+        Defaults to the standard uniform random scheduler.
+    monitors:
+        Observers notified around every interaction.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol[S],
+        states: Optional[Sequence[S]] = None,
+        *,
+        rng: random.Random,
+        scheduler: Optional[Scheduler] = None,
+        monitors: Sequence[Monitor[S]] = (),
+    ):
+        self.protocol = protocol
+        self.rng = rng
+        if states is None:
+            states = protocol.initial_configuration(rng)
+        check_population(protocol, states)
+        self.states: List[S] = list(states)
+        self.scheduler = scheduler or UniformRandomScheduler(protocol.n)
+        self.monitors = list(monitors)
+        self.interactions = 0
+        for monitor in self.monitors:
+            monitor.on_start(self.states)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions executed so far, divided by ``n``."""
+        return self.interactions / self.protocol.n
+
+    def step(self) -> None:
+        """Execute one interaction."""
+        i, j = self.scheduler.next_pair(self.rng)
+        states = self.states
+        step = self.interactions
+        for monitor in self.monitors:
+            monitor.before_step(step, i, j, states[i], states[j])
+        new_i, new_j = self.protocol.transition(states[i], states[j], self.rng)
+        states[i] = new_i
+        states[j] = new_j
+        self.interactions = step + 1
+        for monitor in self.monitors:
+            monitor.after_step(step + 1, i, j, new_i, new_j)
+
+    def run(self, interactions: int) -> None:
+        """Execute exactly ``interactions`` steps (fewer if a script ends)."""
+        try:
+            for _ in range(interactions):
+                self.step()
+        except StopIteration:
+            pass  # a ScriptedScheduler ran out of script: natural end
+
+    def run_until(
+        self,
+        predicate: Callable[["Simulation[S]"], bool],
+        *,
+        max_interactions: int,
+        check_every: int = 1,
+    ) -> int:
+        """Run until ``predicate(self)`` holds; return the interaction count.
+
+        The predicate is evaluated before the first step and then every
+        ``check_every`` interactions.  Raises
+        :class:`~repro.core.errors.SimulationLimitError` if the budget is
+        exhausted first.
+        """
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        deadline = self.interactions + max_interactions
+        while True:
+            if predicate(self):
+                return self.interactions
+            if self.interactions >= deadline:
+                raise SimulationLimitError(
+                    f"predicate not reached within {max_interactions} interactions "
+                    f"(n={self.protocol.n})",
+                    interactions=self.interactions,
+                )
+            burst = min(check_every, deadline - self.interactions)
+            try:
+                for _ in range(burst):
+                    self.step()
+            except StopIteration:
+                if predicate(self):
+                    return self.interactions
+                raise SimulationLimitError(
+                    "scripted scheduler exhausted before predicate held",
+                    interactions=self.interactions,
+                ) from None

@@ -1,0 +1,40 @@
+"""Experiment harness: one runner per table/figure/claim of the paper.
+
+Every experiment module exposes ``run(seed=..., quick=...) -> ExperimentReport``
+and registers itself in :mod:`repro.experiments.registry`; the CLI
+(``python -m repro`` / the ``repro`` console script) runs them by id.
+
+Experiment ids (see DESIGN.md for the full index):
+
+========================  =====================================================
+``table1``                Table 1: time scaling + state counts, all protocols
+``hsweep``                Table 1 row 4: Sublinear-Time-SSR time vs H
+``figure1``               Figure 1: binary-tree rank assignment (n = 12)
+``figure2``               Figure 2: history-tree construction traces
+``obs22``                 Observation 2.2: silent lower bound
+``thm21``                 Theorem 2.1: nonuniformity / subpopulation argument
+``epidemics``             bounded epidemic tau_k + roll call constants
+``reset``                 Section 3: Propagate-Reset completion time
+``whp``                   Cor. 4.2: Theta(n) mean vs Theta(n log n) WHP tail
+``faults``                extension: recovery time / availability under bursts
+``ablation``              extension: knocking down D_max, S_max, T_H
+``loose``                 extension: loose stabilization (holding vs states)
+========================  =====================================================
+"""
+
+from repro.experiments.common import (
+    ConvergenceOutcome,
+    ExperimentReport,
+    measure_convergence,
+    repeat_convergence,
+)
+from repro.experiments.registry import all_experiments, get_experiment
+
+__all__ = [
+    "ConvergenceOutcome",
+    "ExperimentReport",
+    "measure_convergence",
+    "repeat_convergence",
+    "all_experiments",
+    "get_experiment",
+]

@@ -1,0 +1,266 @@
+"""Ablations of the protocols' design constants (extension experiment).
+
+The paper fixes several Theta(.)-sized constants whose *roles* are
+argued but never measured.  This experiment knocks each one down (or up)
+and shows the failure mode the design avoids:
+
+* ``D_max`` (Optimal-Silent-SSR's dormant delay, Theta(n)): the dormant
+  phase hosts the slow ``L, L -> L, F`` election; with a delay much
+  shorter than Theta(n) several leaders survive each reset, every
+  survivor settles at rank 1, and the resulting collisions force extra
+  reset epochs.
+* ``S_max`` (sync-value range, Theta(n^2)): a colliding pair escapes a
+  witness with probability ``1/S_max`` per check; with tiny ``S_max``
+  detection needs many more witness encounters.
+* ``T_H`` (history-tree edge timers, Theta(tau_{H+1})): paths whose
+  edges expire cannot accuse, so an undersized timer suppresses the
+  indirect detection channel and pushes detection back toward the
+  direct-meeting time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.stats import summarize_trials
+from repro.core.rng import DEFAULT_SEED, make_rng
+from repro.core.simulation import Simulation
+from repro.experiments.common import ExperimentReport
+from repro.experiments.hsweep import collision_start
+from repro.protocols.optimal_silent import OptimalSilentAgent, OptimalSilentSSR
+from repro.protocols.parameters import (
+    OptimalSilentParameters,
+    ResetParameters,
+    SublinearParameters,
+    calibrated_optimal_silent,
+    calibrated_sublinear,
+)
+from repro.protocols.sublinear.protocol import SubRole, SublinearTimeSSR
+
+EXPERIMENT_ID = "ablation"
+TITLE = "Ablating the design constants: D_max, S_max, T_H"
+
+
+class CountingOptimalSilent(OptimalSilentSSR):
+    """Optimal-Silent-SSR instrumented to count reset triggers."""
+
+    def __init__(self, n: int, params: OptimalSilentParameters):
+        super().__init__(n, params)
+        self.triggers = 0
+
+    def _trigger(self, agent: OptimalSilentAgent) -> None:
+        self.triggers += 1
+        super()._trigger(agent)
+
+
+def _optimal_silent_with_dmax(n: int, dmax_factor: float) -> CountingOptimalSilent:
+    base = calibrated_optimal_silent(n)
+    d_max = max(base.reset.r_max * 2, int(dmax_factor * n))
+    params = OptimalSilentParameters(
+        reset=ResetParameters(r_max=base.reset.r_max, d_max=d_max),
+        e_max=base.e_max,
+    )
+    return CountingOptimalSilent(n, params)
+
+
+def _sweep_dmax(n: int, factors: List[float], trials: int, seed: int, report) -> Dict:
+    """P(several leaders survive one clean reset wave) vs D_max.
+
+    The dormant phase hosts the slow ``L, L -> L, F`` election, which
+    thins k leaders roughly like ``n / (1 + t)`` over ``t`` parallel
+    time.  We start a whole population freshly triggered, let exactly
+    one wave run to completion, and count how many agents settled at
+    rank 1 -- the event "> 1" is precisely the failed election whose
+    probability the Theta(n) delay keeps constant (and a longer delay
+    suppresses).
+    """
+    from repro.core.simulation import Simulation
+    from repro.protocols.optimal_silent import Role
+
+    results = {}
+    for factor in factors:
+        multi = 0
+        for trial in range(trials):
+            rng = make_rng(seed, "abl-dmax", factor, trial)
+            protocol = _optimal_silent_with_dmax(n, factor)
+            states = []
+            for _ in range(n):
+                agent = protocol.initial_state(rng)
+                protocol._trigger(agent)  # noqa: SLF001 - harness setup
+                states.append(agent)
+            protocol.triggers = 0
+            sim = Simulation(protocol, states, rng=rng)
+            budget = 400 * protocol.params.reset.d_max * n
+            while any(s.role is Role.RESETTING for s in sim.states):
+                if sim.interactions >= budget:
+                    raise RuntimeError(f"wave stalled at factor {factor}")
+                sim.run(n)
+            rank_one = sum(
+                1
+                for s in sim.states
+                if s.role is Role.SETTLED and s.rank == 1
+            )
+            if rank_one != 1:
+                multi += 1
+        rate = multi / trials
+        results[factor] = rate
+        report.add_row(
+            constant="D_max",
+            setting=f"{factor} * n",
+            n=n,
+            mean_time=rate,
+            mean_extra="P(multi-leader wave)",
+            trials=trials,
+        )
+    return results
+
+
+def _sweep_smax(values: List[int], trials: int, seed: int, report) -> Dict:
+    """Escape probability of a *plausible* impostor vs S_max.
+
+    An impostor caught with empty records needs no sync values at all
+    (the presence rule suffices), so the interesting regime is an
+    impostor that has interacted with the witness too -- its stale sync
+    matches the genuine one with probability exactly ``1/S_max`` per
+    compared edge, which is the event the Theta(n^2) sizing suppresses.
+    Measured through the real ``find_collision`` code path.
+    """
+    from repro.experiments.figure2 import FigureAgent
+    from repro.protocols.sublinear.detect_collision import (
+        find_collision,
+        merge_histories,
+    )
+    from repro.protocols.sublinear.history_tree import HistoryTree
+
+    results = {}
+    for s_max in values:
+        base = calibrated_sublinear(8, h=1)
+        params = SublinearParameters(
+            reset=base.reset,
+            name_bits=base.name_bits,
+            h=1,
+            s_max=s_max,
+            t_h=base.t_h,
+        )
+        misses = 0
+        for trial in range(trials):
+            rng = make_rng(seed, "abl-smax", s_max, trial)
+            witness = FigureAgent("w")
+            genuine = FigureAgent("x")
+            impostor = FigureAgent("x")
+            # The witness met the genuine x (shared sync); the impostor
+            # holds its own, independently generated record of a meeting
+            # with w -- the stale-record situation after interleaved
+            # encounters.  The impostor escapes iff the two syncs agree.
+            merge_histories(witness, genuine, params, rng)
+            impostor.tree.graft(
+                HistoryTree.singleton("w"),
+                sync=rng.randint(1, s_max),
+                expires=impostor.clock + params.t_h,
+            )
+            if not find_collision(witness, impostor):
+                misses += 1
+        rate = misses / trials
+        results[s_max] = rate
+        report.add_row(
+            constant="S_max",
+            setting=str(s_max),
+            n=8,
+            mean_time=rate,
+            mean_extra=f"theory {1.0 / s_max:.3f}",
+            trials=trials,
+        )
+    return results
+
+
+def _sweep_th(n: int, factors: List[float], trials: int, seed: int, report) -> Dict:
+    results = {}
+    base = calibrated_sublinear(n, h=1)
+    for factor in factors:
+        params = SublinearParameters(
+            reset=base.reset,
+            name_bits=base.name_bits,
+            h=1,
+            s_max=base.s_max,
+            t_h=max(2, int(base.t_h * factor)),
+        )
+        times = []
+        for trial in range(trials):
+            rng = make_rng(seed, "abl-th", factor, trial)
+            protocol = SublinearTimeSSR(n, params=params)
+            sim = Simulation(protocol, collision_start(protocol, rng), rng=rng)
+            budget = 4000 * n
+            while not any(s.role is SubRole.RESETTING for s in sim.states):
+                if sim.interactions >= budget:
+                    raise RuntimeError(f"no detection at t_h factor {factor}")
+                sim.step()
+            times.append(sim.parallel_time)
+        summary = summarize_trials(times)
+        results[factor] = summary.mean
+        report.add_row(
+            constant="T_H",
+            setting=f"{factor} * calibrated",
+            n=n,
+            mean_time=summary.mean,
+            mean_extra="",
+            trials=trials,
+        )
+    return results
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
+    if quick:
+        n = 32
+        dmax_factors = [0.25, 4.0]
+        dmax_trials = 30
+        smax_values = [2, 1024]
+        th_factors = [0.03, 4.0]
+        th_trials = 25
+    else:
+        n = 32
+        dmax_factors = [0.25, 1.0, 4.0]
+        dmax_trials = 80
+        smax_values = [2, 8, 64, 4096]
+        th_factors = [0.03, 0.5, 4.0]
+        th_trials = 60
+
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=["constant", "setting", "n", "mean_time", "mean_extra", "trials"],
+    )
+    report.notes.append(
+        "mean_time column semantics per sweep: D_max rows report "
+        "P(several rank-1 leaders survive one clean reset wave); S_max "
+        "rows the impostor escape rate (theory 1/S_max alongside); T_H "
+        "rows the mean collision-detection time."
+    )
+
+    dmax = _sweep_dmax(n, dmax_factors, dmax_trials, seed, report)
+    smax = _sweep_smax(smax_values, 600, seed, report)
+    th = _sweep_th(32, th_factors, th_trials, seed, report)
+
+    small_d, big_d = min(dmax), max(dmax)
+    report.add_check(
+        "small-dmax-breaks-elections",
+        passed=dmax[small_d] > dmax[big_d] + 0.05,
+        measured={f: round(v, 3) for f, v in dmax.items()},
+        expected="short dormancy -> failed L,L->L,F election more often",
+    )
+    small_s, big_s = min(smax), max(smax)
+    report.add_check(
+        "impostor-escape-rate-is-1-over-smax",
+        passed=abs(smax[small_s] - 1.0 / small_s) < 0.15
+        and smax[big_s] < 1.0 / big_s + 0.05
+        and smax[small_s] > smax[big_s],
+        measured={s: round(v, 3) for s, v in smax.items()},
+        expected="escape probability ~ 1/S_max per compared edge",
+    )
+    small_t, big_t = min(th), max(th)
+    report.add_check(
+        "small-th-slows-detection",
+        passed=th[small_t] > th[big_t],
+        measured={f: round(v, 2) for f, v in th.items()},
+        expected="expired paths cannot accuse: detection regresses",
+    )
+    return report

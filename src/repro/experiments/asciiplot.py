@@ -1,0 +1,127 @@
+"""Dependency-free ASCII charts for terminal reports.
+
+The experiment harness runs in terminals and CI logs, so its "figures"
+are text: a scatter/line chart on linear or log-log axes, rendered into
+a fixed-size character grid.  Multiple series share the canvas, each
+with its own marker, and a legend line follows the axes.
+
+This is deliberately minimal -- enough to *see* a Theta(n^2) curve tower
+over a Theta(n) one, or the H sweep fan out -- not a plotting library.
+
+>>> chart = AsciiChart(width=40, height=10, loglog=True)
+>>> chart.add_series("n^2", [(8, 64), (16, 256), (32, 1024)], marker="*")
+>>> print(chart.render())  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+@dataclass
+class Series:
+    label: str
+    points: List[Point]
+    marker: str
+
+
+@dataclass
+class AsciiChart:
+    """A character-grid chart with optional log-log axes."""
+
+    width: int = 60
+    height: int = 16
+    loglog: bool = False
+    title: Optional[str] = None
+    series: List[Series] = field(default_factory=list)
+
+    def add_series(self, label: str, points: Sequence[Point], marker: str) -> None:
+        """Add a named series; ``marker`` is the single character drawn."""
+        if len(marker) != 1:
+            raise ValueError(f"marker must be one character, got {marker!r}")
+        cleaned = [(float(x), float(y)) for x, y in points]
+        if not cleaned:
+            raise ValueError(f"series {label!r} has no points")
+        if self.loglog and any(x <= 0 or y <= 0 for x, y in cleaned):
+            raise ValueError(f"series {label!r} has non-positive points on log axes")
+        self.series.append(Series(label=label, points=cleaned, marker=marker))
+
+    # ------------------------------------------------------------------
+
+    def _transform(self, value: float) -> float:
+        return math.log10(value) if self.loglog else value
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [self._transform(x) for s in self.series for x, _ in s.points]
+        ys = [self._transform(y) for s in self.series for _, y in s.points]
+        x_low, x_high = min(xs), max(xs)
+        y_low, y_high = min(ys), max(ys)
+        if x_high == x_low:
+            x_high += 1.0
+        if y_high == y_low:
+            y_high += 1.0
+        return x_low, x_high, y_low, y_high
+
+    def render(self) -> str:
+        """Render the chart (axes, markers, legend) to a string."""
+        if not self.series:
+            raise ValueError("cannot render a chart with no series")
+        x_low, x_high, y_low, y_high = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def place(x: float, y: float, marker: str) -> None:
+            tx = (self._transform(x) - x_low) / (x_high - x_low)
+            ty = (self._transform(y) - y_low) / (y_high - y_low)
+            column = min(self.width - 1, int(round(tx * (self.width - 1))))
+            row = min(self.height - 1, int(round(ty * (self.height - 1))))
+            row = self.height - 1 - row  # origin at bottom-left
+            current = grid[row][column]
+            grid[row][column] = "#" if current not in (" ", marker) else marker
+
+        for series in self.series:
+            for x, y in series.points:
+                place(x, y, series.marker)
+
+        def fmt(transformed: float) -> str:
+            value = 10**transformed if self.loglog else transformed
+            return f"{value:.3g}"
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        for row_index, row in enumerate(grid):
+            label = fmt(y_high) if row_index == 0 else (
+                fmt(y_low) if row_index == self.height - 1 else ""
+            )
+            lines.append(f"{label:>8} |" + "".join(row))
+        lines.append(" " * 9 + "+" + "-" * self.width)
+        lines.append(
+            " " * 9 + f" {fmt(x_low)}" + " " * max(1, self.width - 16) + fmt(x_high)
+        )
+        axes = "log-log" if self.loglog else "linear"
+        legend = "   ".join(f"{s.marker} {s.label}" for s in self.series)
+        lines.append(f"  [{axes}]  {legend}  (# = overlap)")
+        return "\n".join(lines)
+
+
+def scaling_chart(
+    title: str,
+    cells: Sequence[Tuple[str, Sequence[Point]]],
+    *,
+    loglog: bool = True,
+    width: int = 60,
+    height: int = 14,
+) -> str:
+    """Convenience: one chart from ``(label, points)`` pairs.
+
+    Markers are assigned round-robin from a fixed readable set.
+    """
+    markers = "*o+x^@%="
+    chart = AsciiChart(width=width, height=height, loglog=loglog, title=title)
+    for index, (label, points) in enumerate(cells):
+        chart.add_series(label, points, marker=markers[index % len(markers)])
+    return chart.render()

@@ -1,0 +1,113 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Examples::
+
+    repro list                      # show available experiments
+    repro run figure2               # regenerate Figure 2
+    repro run table1 --quick        # fast, smaller version of Table 1
+    repro run all --seed 7          # everything, custom seed
+    repro run obs22 -o obs22.md     # write the markdown report to a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.rng import DEFAULT_SEED
+from repro.experiments.registry import all_experiments, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Time-Optimal Self-Stabilizing "
+            "Leader Election in Population Protocols' (PODC 2021)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help=f"experiment id, one of: {', '.join(all_experiments())}, or 'all'",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="root RNG seed"
+    )
+    run_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sizes/trial counts (what CI and the benchmarks use)",
+    )
+    run_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the markdown report to this file instead of stdout",
+    )
+    run_parser.add_argument(
+        "--csv",
+        default=None,
+        metavar="DIR",
+        help="additionally write rows/checks CSVs and a manifest to DIR",
+    )
+    return parser
+
+
+def _run_one(
+    experiment_id: str,
+    seed: int,
+    quick: bool,
+    output: Optional[str],
+    csv_dir: Optional[str] = None,
+) -> bool:
+    runner = get_experiment(experiment_id)
+    started = time.time()
+    report = runner(seed=seed, quick=quick)
+    elapsed = time.time() - started
+    if csv_dir:
+        from repro.experiments.results import write_artifacts
+
+        created = write_artifacts(
+            report, csv_dir, seed=seed, quick=quick, elapsed_seconds=elapsed
+        )
+        print(f"{experiment_id}: wrote {len(created)} artifacts to {csv_dir}")
+    text = report.render_markdown()
+    text += f"\n_(generated in {elapsed:.1f}s, seed={seed}, quick={quick})_\n"
+    if output:
+        with open(output, "a", encoding="utf8") as handle:
+            handle.write(text + "\n")
+        print(f"{experiment_id}: wrote report to {output} ({elapsed:.1f}s)")
+    else:
+        print(text)
+    if not report.all_passed:
+        failed = [name for name, c in report.checks.items() if not c.passed]
+        print(f"{experiment_id}: FAILED checks: {', '.join(failed)}", file=sys.stderr)
+    return report.all_passed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in all_experiments():
+            print(experiment_id)
+        return 0
+
+    targets = all_experiments() if args.experiment == "all" else [args.experiment]
+    ok = True
+    for experiment_id in targets:
+        ok = (
+            _run_one(experiment_id, args.seed, args.quick, args.output, args.csv)
+            and ok
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The probabilistic toolbox, measured (Sections 1.1 and 2).
+
+Three claims calibrate the paper's running-time analyses; this
+experiment regenerates all of them:
+
+* **bounded epidemic**: ``E[tau_1] = Theta(n)`` and in general
+  ``E[tau_k] = O(k * n^(1/k))`` -- for fixed ``k`` the growth exponent
+  across ``n`` is about ``1/k``;
+* **two-way epidemic**: measured completion matches the closed form
+  ``2 (n-1) H_{n-1} / (2n) ~ ln n`` parallel time;
+* **roll call**: completion is only about 1.5x the two-way epidemic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.bounded_epidemic import simulate_bounded_epidemic, tau_theory
+from repro.analysis.epidemic import (
+    simulate_two_way_epidemic,
+    two_way_epidemic_expected_time,
+)
+from repro.analysis.rollcall import simulate_rollcall
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.stats import summarize_trials
+from repro.core.rng import DEFAULT_SEED, make_rng
+from repro.experiments.common import ExperimentReport
+
+EXPERIMENT_ID = "epidemics"
+TITLE = "Probabilistic tools -- bounded epidemic, epidemic, roll call"
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
+    if quick:
+        # tau_1 is exponentially distributed (mean n - 1), so the
+        # exponent fit needs a healthy trial count even in quick mode;
+        # individual runs are cheap.
+        tau_ns, tau_trials = [64, 128, 256], 40
+        roll_ns, roll_trials = [64, 128, 256], 10
+    else:
+        tau_ns, tau_trials = [64, 128, 256, 512, 1024], 60
+        roll_ns, roll_trials = [64, 128, 256, 512, 1024], 30
+    ks = [1, 2, 3, 4]
+
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=["process", "n", "k", "measured_time", "reference", "trials"],
+    )
+
+    # ---- bounded epidemic ----------------------------------------------
+    tau_means: Dict[int, Dict[int, float]] = {k: {} for k in ks}
+    for n in tau_ns:
+        samples: Dict[int, List[float]] = {k: [] for k in ks}
+        for trial in range(tau_trials):
+            rng = make_rng(seed, "tau", n, trial)
+            result = simulate_bounded_epidemic(n, ks, rng)
+            for k in ks:
+                samples[k].append(result.tau[k])
+        for k in ks:
+            summary = summarize_trials(samples[k])
+            tau_means[k][n] = summary.mean
+            report.add_row(
+                process="bounded-epidemic tau_k",
+                n=n,
+                k=k,
+                measured_time=summary.mean,
+                reference=tau_theory(n, k),
+                trials=summary.count,
+            )
+
+    for k in ks:
+        fit = fit_power_law(tau_ns, [tau_means[k][n] for n in tau_ns])
+        report.add_check(
+            f"tau{k}-exponent",
+            passed=abs(fit.exponent - 1.0 / k) < 0.35,
+            measured=round(fit.exponent, 3),
+            expected=f"E[tau_{k}] = O(k n^(1/k)): exponent ~ {1.0 / k:.2f}",
+        )
+    largest = tau_ns[-1]
+    report.add_check(
+        "tau-decreasing-in-k",
+        passed=all(
+            tau_means[k][largest] > tau_means[k + 1][largest] for k in ks[:-1]
+        ),
+        measured={k: round(tau_means[k][largest], 1) for k in ks},
+        expected="longer chains hear from the source sooner",
+    )
+
+    # ---- two-way epidemic vs closed form -------------------------------
+    epidemic_means: Dict[int, float] = {}
+    for n in roll_ns:
+        times = []
+        for trial in range(roll_trials):
+            rng = make_rng(seed, "epidemic", n, trial)
+            times.append(simulate_two_way_epidemic(n, rng) / n)
+        summary = summarize_trials(times)
+        epidemic_means[n] = summary.mean
+        report.add_row(
+            process="two-way epidemic",
+            n=n,
+            k="-",
+            measured_time=summary.mean,
+            reference=two_way_epidemic_expected_time(n),
+            trials=summary.count,
+        )
+        report.add_check(
+            f"epidemic-closed-form-n{n}",
+            passed=abs(summary.mean - two_way_epidemic_expected_time(n))
+            <= 4 * summary.ci95_halfwidth + 0.05 * summary.mean,
+            measured=round(summary.mean, 2),
+            expected=f"2(n-1)H_(n-1)/(2n) = {two_way_epidemic_expected_time(n):.2f}",
+        )
+
+    # ---- roll call ------------------------------------------------------
+    ratios: List[float] = []
+    for n in roll_ns:
+        times = []
+        for trial in range(roll_trials):
+            rng = make_rng(seed, "rollcall", n, trial)
+            times.append(simulate_rollcall(n, rng) / n)
+        summary = summarize_trials(times)
+        ratio = summary.mean / epidemic_means[n]
+        ratios.append(ratio)
+        report.add_row(
+            process="roll call",
+            n=n,
+            k="-",
+            measured_time=summary.mean,
+            reference=1.5 * epidemic_means[n],
+            trials=summary.count,
+        )
+    from repro.experiments.asciiplot import scaling_chart
+
+    report.notes.append(
+        "\n"
+        + scaling_chart(
+            "Bounded epidemic: E[tau_k] vs n (log-log), per chain length k",
+            [
+                (f"k={k}", [(n, tau_means[k][n]) for n in tau_ns])
+                for k in ks
+            ],
+        )
+    )
+    report.add_check(
+        "rollcall-1.5x-epidemic",
+        passed=all(1.2 <= r <= 1.9 for r in ratios[-2:]),
+        measured=[round(r, 2) for r in ratios],
+        expected="ratio -> ~1.5 as n grows",
+    )
+    return report

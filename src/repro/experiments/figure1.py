@@ -1,0 +1,185 @@
+"""Figure 1: binary-tree rank assignment in Optimal-Silent-SSR (n = 12).
+
+The figure shows a mid-ranking snapshot: a population of 12 in which 8
+agents are already settled on ranks forming the top of the full binary
+tree, while 4 unsettled agents wait to be recruited into the remaining
+ranks by the settled agents that still have open child slots.  The
+caption notes the whole assignment completes in expected Theta(n) time.
+
+This experiment regenerates both parts:
+
+* it runs the post-reset ranking phase (one settled leader at rank 1,
+  ``n - 1`` unsettled agents) until exactly 8 agents are settled and
+  renders the resulting tree snapshot, checking the structural
+  invariant that makes rank uniqueness automatic -- the settled ranks
+  always form a parent-closed subtree containing rank 1, and every
+  still-open slot is a child of a settled agent with ``children < 2``;
+* it measures the completion time of the ranking phase across ``n`` and
+  checks the Theta(n) claim (fit exponent ~ 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.stats import summarize_trials
+from repro.core.rng import DEFAULT_SEED, make_rng
+from repro.core.simulation import Simulation
+from repro.experiments.common import ExperimentReport
+from repro.protocols.optimal_silent import (
+    OptimalSilentAgent,
+    OptimalSilentSSR,
+    Role,
+)
+
+EXPERIMENT_ID = "figure1"
+TITLE = "Figure 1 -- rank assignment along the full binary tree (n = 12)"
+
+FIGURE_N = 12
+FIGURE_SETTLED = 8
+
+
+def ranking_phase_configuration(protocol: OptimalSilentSSR) -> List[OptimalSilentAgent]:
+    """The post-reset situation: a unique leader and n - 1 unsettled."""
+    states = [
+        OptimalSilentAgent(role=Role.SETTLED, rank=1, children=0),
+    ]
+    states.extend(
+        OptimalSilentAgent(
+            role=Role.UNSETTLED, errorcount=protocol.params.e_max
+        )
+        for _ in range(protocol.n - 1)
+    )
+    return states
+
+
+def settled_ranks(states: List[OptimalSilentAgent]) -> Set[int]:
+    return {s.rank for s in states if s.role is Role.SETTLED}
+
+
+def open_slots(protocol: OptimalSilentSSR, states: List[OptimalSilentAgent]) -> Set[int]:
+    """Ranks that a settled agent can currently hand out."""
+    slots: Set[int] = set()
+    for state in states:
+        if state.role is not Role.SETTLED:
+            continue
+        for child_index in range(state.children, 2):
+            child_rank = 2 * state.rank + child_index
+            if child_rank <= protocol.n:
+                slots.add(child_rank)
+    return slots
+
+
+def is_parent_closed(ranks: Set[int]) -> bool:
+    """Every settled rank's tree parent is settled too (rank 1 is root)."""
+    return all(rank == 1 or rank // 2 in ranks for rank in ranks)
+
+
+def render_tree(n: int, settled: Set[int]) -> str:
+    """ASCII rendering of the full binary tree with settled marks."""
+    lines: List[str] = []
+    level = [1]
+    while level:
+        cells = [
+            f"[{rank}]" if rank in settled else f"({rank})" for rank in level
+        ]
+        lines.append("  ".join(cells))
+        level = [child for rank in level for child in (2 * rank, 2 * rank + 1) if child <= n]
+    legend = "[r] settled   (r) waiting for an unsettled agent"
+    return "\n".join(lines + [legend])
+
+
+def snapshot_at_settled_count(
+    n: int, target_settled: int, seed: int
+) -> List[OptimalSilentAgent]:
+    """Run the ranking phase until ``target_settled`` agents are settled."""
+    protocol = OptimalSilentSSR(n)
+    rng = make_rng(seed, "figure1-snapshot", n, target_settled)
+    sim = Simulation(protocol, ranking_phase_configuration(protocol), rng=rng)
+    while len(settled_ranks(sim.states)) < target_settled:
+        sim.step()
+    return list(sim.states)
+
+
+def ranking_completion_time(n: int, seed: int, trial: int) -> float:
+    """Parallel time for the ranking phase to settle everyone."""
+    protocol = OptimalSilentSSR(n)
+    rng = make_rng(seed, "figure1-completion", n, trial)
+    sim = Simulation(protocol, ranking_phase_configuration(protocol), rng=rng)
+    while len(settled_ranks(sim.states)) < n:
+        sim.step()
+    return sim.parallel_time
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=["rank", "status", "parent", "assigned_by"],
+    )
+
+    # ---- the snapshot itself ------------------------------------------
+    protocol = OptimalSilentSSR(FIGURE_N)
+    states = snapshot_at_settled_count(FIGURE_N, FIGURE_SETTLED, seed)
+    settled = settled_ranks(states)
+    slots = open_slots(protocol, states)
+    for rank in range(1, FIGURE_N + 1):
+        if rank in settled:
+            status = "settled"
+        elif rank in slots:
+            status = "open slot"
+        else:
+            status = "pending"
+        report.add_row(
+            rank=rank,
+            status=status,
+            parent=rank // 2 if rank > 1 else "-",
+            assigned_by=rank // 2 if rank > 1 and rank in slots else "",
+        )
+
+    unsettled = sum(1 for s in states if s.role is Role.UNSETTLED)
+    report.add_check(
+        "settled-count",
+        passed=len(settled) == FIGURE_SETTLED and unsettled == FIGURE_N - FIGURE_SETTLED,
+        measured=f"{len(settled)} settled / {unsettled} unsettled",
+        expected="8 settled, 4 unsettled (as drawn)",
+    )
+    report.add_check(
+        "parent-closed",
+        passed=is_parent_closed(settled),
+        measured=sorted(settled),
+        expected="settled ranks form a subtree containing the root",
+    )
+    report.add_check(
+        "open-slots-progress",
+        passed=bool(slots) and not (slots & settled),
+        measured=sorted(slots),
+        expected=(
+            "while unsettled agents remain, some settled agent has an open "
+            "child slot, and no open slot duplicates a settled rank"
+        ),
+    )
+
+    report.notes.append("Snapshot tree:\n" + render_tree(FIGURE_N, settled))
+
+    # ---- "completes in expected Theta(n) time" ------------------------
+    ns = [8, 16, 32] if quick else [8, 16, 32, 64, 128]
+    trials = 5 if quick else 15
+    means: List[float] = []
+    for n in ns:
+        times = [ranking_completion_time(n, seed, t) for t in range(trials)]
+        summary = summarize_trials(times)
+        means.append(summary.mean)
+        report.notes.append(
+            f"ranking completion n={n}: mean {summary.mean:.1f} "
+            f"(q90 {summary.q90:.1f}) parallel time over {trials} trials"
+        )
+    fit = fit_power_law(ns, means)
+    report.add_check(
+        "ranking-linear-time",
+        passed=0.6 <= fit.exponent <= 1.4,
+        measured=round(fit.exponent, 3),
+        expected="Theta(n): exponent ~ 1",
+    )
+    return report

@@ -1,0 +1,41 @@
+"""Registry mapping experiment ids to runner callables.
+
+Runners are imported lazily so that importing :mod:`repro.experiments`
+stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable, Dict, List
+
+#: experiment id -> module path (each module exposes ``run`` and ``TITLE``)
+_EXPERIMENT_MODULES: Dict[str, str] = {
+    "table1": "repro.experiments.table1",
+    "hsweep": "repro.experiments.hsweep",
+    "figure1": "repro.experiments.figure1",
+    "figure2": "repro.experiments.figure2",
+    "obs22": "repro.experiments.observation22",
+    "thm21": "repro.experiments.theorem21",
+    "epidemics": "repro.experiments.epidemics",
+    "reset": "repro.experiments.reset_timing",
+    "whp": "repro.experiments.whp",
+    "faults": "repro.experiments.faults",
+    "ablation": "repro.experiments.ablation",
+    "loose": "repro.experiments.loose",
+}
+
+
+def all_experiments() -> List[str]:
+    """All registered experiment ids, in display order."""
+    return list(_EXPERIMENT_MODULES)
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """The ``run(seed=..., quick=...)`` callable for an experiment id."""
+    try:
+        module_path = _EXPERIMENT_MODULES[experiment_id]
+    except KeyError:
+        known = ", ".join(all_experiments())
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return import_module(module_path).run

@@ -1,0 +1,62 @@
+"""Markdown/CSV rendering of experiment reports."""
+
+from __future__ import annotations
+
+import io
+from typing import TYPE_CHECKING, Dict, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.experiments.common import ExperimentReport
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Dict[str, object]]) -> str:
+    """A GitHub-flavoured markdown table from row dictionaries."""
+    header = "| " + " | ".join(columns) + " |"
+    divider = "|" + "|".join("---" for _ in columns) + "|"
+    lines = [header, divider]
+    for row in rows:
+        cells = [_format_cell(row.get(column, "")) for column in columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_report(report: "ExperimentReport") -> str:
+    """Full markdown rendering: title, table, checks, notes."""
+    out = io.StringIO()
+    out.write(f"## {report.title}\n\n")
+    if report.rows:
+        out.write(render_table(report.columns, report.rows))
+        out.write("\n")
+    if report.checks:
+        out.write("\n### Shape checks\n\n")
+        for name, check in report.checks.items():
+            out.write(f"- **{name}**: {check}\n")
+    if report.notes:
+        out.write("\n### Notes\n\n")
+        for note in report.notes:
+            out.write(f"- {note}\n")
+    return out.getvalue()
+
+
+def render_csv(columns: Sequence[str], rows: Sequence[Dict[str, object]]) -> str:
+    """CSV rendering of the same rows (for downstream plotting)."""
+    import csv
+
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return out.getvalue()

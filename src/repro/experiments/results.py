@@ -1,0 +1,94 @@
+"""Structured persistence of experiment results.
+
+``repro run <id> --csv DIR`` writes, per experiment:
+
+* ``<id>.csv`` -- the report's rows (the regenerated table/series);
+* ``<id>.checks.csv`` -- the shape checks with pass flags;
+* ``<id>.manifest.json`` -- everything needed to reproduce the numbers:
+  experiment id, seed, quick flag, package version, python version,
+  timestamp, and the pass/fail summary.
+
+Downstream plotting and regression tracking consume these files; the
+markdown reports remain the human-facing output.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.experiments.report import render_csv
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.experiments.common import ExperimentReport
+
+
+def checks_rows(report: "ExperimentReport") -> List[Dict[str, object]]:
+    """The shape checks flattened into CSV-friendly rows."""
+    return [
+        {
+            "check": name,
+            "passed": check.passed,
+            "measured": str(check.measured),
+            "expected": check.expected,
+        }
+        for name, check in report.checks.items()
+    ]
+
+
+def build_manifest(
+    report: "ExperimentReport", *, seed: int, quick: bool, elapsed_seconds: float
+) -> Dict[str, object]:
+    """The reproducibility manifest for one experiment run."""
+    import repro
+
+    return {
+        "experiment_id": report.experiment_id,
+        "title": report.title,
+        "seed": seed,
+        "quick": quick,
+        "elapsed_seconds": round(elapsed_seconds, 3),
+        "rows": len(report.rows),
+        "checks_passed": sum(1 for c in report.checks.values() if c.passed),
+        "checks_failed": sum(1 for c in report.checks.values() if not c.passed),
+        "all_passed": report.all_passed,
+        "repro_version": repro.__version__,
+        "python_version": platform.python_version(),
+        "generated_unix_time": int(time.time()),
+    }
+
+
+def write_artifacts(
+    report: "ExperimentReport",
+    directory: "str | Path",
+    *,
+    seed: int,
+    quick: bool,
+    elapsed_seconds: float,
+) -> List[Path]:
+    """Write rows, checks and manifest; return the created paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    created: List[Path] = []
+
+    rows_path = target / f"{report.experiment_id}.csv"
+    rows_path.write_text(render_csv(report.columns, report.rows), encoding="utf8")
+    created.append(rows_path)
+
+    checks_path = target / f"{report.experiment_id}.checks.csv"
+    checks_path.write_text(
+        render_csv(["check", "passed", "measured", "expected"], checks_rows(report)),
+        encoding="utf8",
+    )
+    created.append(checks_path)
+
+    manifest_path = target / f"{report.experiment_id}.manifest.json"
+    manifest = build_manifest(
+        report, seed=seed, quick=quick, elapsed_seconds=elapsed_seconds
+    )
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf8")
+    created.append(manifest_path)
+    return created

@@ -1,0 +1,199 @@
+"""Theorem 2.1 (Cai-Izumi-Wada): n states, and strong nonuniformity.
+
+The theorem says every SSLE protocol (i) uses at least ``n`` states and
+(ii) is *strongly nonuniform*: the transition relation itself must
+depend on the exact population size.  The paper sketches why: if the
+same transitions worked for sizes ``n1 < n2``, then inside a stable
+single-leader population of size ``n2`` one could pick a leaderless
+sub-population of size ``n1``; sufficiently many interactions strictly
+within it must eventually create a second leader (the sub-population is
+indistinguishable from a leaderless size-``n1`` population), so the full
+configuration was never stable.
+
+We regenerate this argument constructively with Silent-n-state-SSR:
+
+* run the size-``n1`` transition rule on a population of size
+  ``n2 > n1`` from a "correct-looking" single-leader configuration, and
+  watch a second leader (second rank-0 agent) appear -- from *every*
+  trial;
+* run it with interactions confined to a leaderless sub-population (the
+  exact scenario of the proof) and watch the wrap-around ``mod n1``
+  manufacture a leader inside the sub-population;
+* as a control, the correctly sized protocol started from its ranked
+  configuration never creates a second leader (it is silent there).
+
+The ``>= n states`` half is checked against the protocols' state
+counters in the Table 1 experiment; here we record the counts for the
+sizes used.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.analysis.statecount import optimal_silent_state_count, silent_n_state_count
+from repro.core.rng import DEFAULT_SEED, make_rng
+from repro.core.scheduler import CallbackScheduler
+from repro.core.simulation import Simulation
+from repro.experiments.common import ExperimentReport
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+
+EXPERIMENT_ID = "thm21"
+TITLE = "Theorem 2.1 -- why SSLE needs the exact population size"
+
+
+def _leaders(states: List[int]) -> int:
+    return sum(1 for s in states if s == 0)
+
+
+class UndersizedRuleCiw(SilentNStateSSR):
+    """Silent-n-state-SSR's *rule* for size ``modulus``, run on ``n`` agents.
+
+    This is the object Theorem 2.1 forbids from working: the transition
+    relation of a population of size ``modulus`` applied verbatim to a
+    larger population.  Rank arithmetic stays ``mod modulus``; only the
+    scheduler knows the true ``n``.
+    """
+
+    def __init__(self, modulus: int, n: int):
+        if not 2 <= modulus <= n:
+            raise ValueError(f"need 2 <= modulus <= n, got {modulus}, {n}")
+        super().__init__(n)
+        self.modulus = modulus
+
+    def transition(self, initiator: int, responder: int, rng) -> tuple:
+        if initiator == responder:
+            return initiator, (responder + 1) % self.modulus
+        return initiator, responder
+
+    def random_state(self, rng) -> int:
+        return rng.randrange(self.modulus)
+
+    def state_count(self) -> int:
+        return self.modulus
+
+
+def time_to_second_leader(n1: int, n2: int, seed: int, trial: int) -> float:
+    """Run the size-n1 rule on n2 agents until a second rank-0 appears.
+
+    Start: one agent per rank ``0..n1-1`` plus duplicates at nonzero
+    ranks -- a configuration that "looks" stable to the undersized rule.
+    """
+    protocol = UndersizedRuleCiw(modulus=n1, n=n2)
+    rng = make_rng(seed, "thm21-full", n1, n2, trial)
+    states = list(range(n1)) + [1 + (i % (n1 - 1)) for i in range(n2 - n1)]
+    sim = Simulation(protocol, states, rng=rng)
+    while _leaders(sim.states) < 2:
+        sim.step()
+    return sim.parallel_time
+
+
+def time_to_leader_in_subpopulation(
+    n1: int, n2: int, seed: int, trial: int
+) -> float:
+    """The proof's scenario: interactions confined to a leaderless subset.
+
+    The sub-population is ``n1`` agents holding ranks ``1..n1-1`` (one
+    duplicated), i.e. no leader among them; the size-``n1`` rule must
+    eventually wrap some agent around to rank 0.
+    """
+    protocol = UndersizedRuleCiw(modulus=n1, n=n2)
+    rng = make_rng(seed, "thm21-sub", n1, n2, trial)
+    # Full population: rank 0 leader + the sub-population + untouched rest.
+    sub = list(range(1, n1)) + [1]  # n1 agents, leaderless, one duplicate
+    states = [0] + sub + [1 + (i % (n1 - 1)) for i in range(n2 - n1 - 1)]
+    sub_indices = list(range(1, 1 + len(sub)))
+
+    def choose(step_rng: random.Random):
+        i = step_rng.choice(sub_indices)
+        j = step_rng.choice(sub_indices)
+        while j == i:
+            j = step_rng.choice(sub_indices)
+        return i, j
+
+    sim = Simulation(
+        protocol,
+        states,
+        rng=rng,
+        scheduler=CallbackScheduler(choose),
+    )
+    while _leaders([sim.states[i] for i in sub_indices]) < 1:
+        sim.step()
+    return sim.parallel_time
+
+
+def control_stays_stable(n: int, seed: int, horizon_time: float) -> bool:
+    """Correctly sized protocol from its ranked configuration: no 2nd leader."""
+    protocol = SilentNStateSSR(n)
+    rng = make_rng(seed, "thm21-control", n)
+    sim = Simulation(protocol, list(range(n)), rng=rng)
+    sim.run(int(horizon_time * n))
+    return _leaders(sim.states) == 1
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
+    if quick:
+        pairs, trials, horizon = [(8, 12)], 5, 200.0
+    else:
+        pairs, trials, horizon = [(8, 12), (16, 24), (32, 48)], 10, 1000.0
+
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "n1",
+            "n2",
+            "mean_time_to_2nd_leader",
+            "mean_time_in_subpopulation",
+            "states_n1",
+            "trials",
+        ],
+    )
+
+    for n1, n2 in pairs:
+        full = [time_to_second_leader(n1, n2, seed, t) for t in range(trials)]
+        sub = [time_to_leader_in_subpopulation(n1, n2, seed, t) for t in range(trials)]
+        report.add_row(
+            n1=n1,
+            n2=n2,
+            mean_time_to_2nd_leader=sum(full) / trials,
+            mean_time_in_subpopulation=sum(sub) / trials,
+            states_n1=silent_n_state_count(n1),
+            trials=trials,
+        )
+        report.add_check(
+            f"second-leader-always-appears-{n1}-{n2}",
+            passed=len(full) == trials,  # every trial terminated
+            measured=f"all {trials} trials produced a second leader",
+            expected="undersized rule cannot keep a unique leader",
+        )
+        report.add_check(
+            f"subpopulation-makes-leader-{n1}-{n2}",
+            passed=len(sub) == trials,
+            measured=f"all {trials} trials",
+            expected="leaderless sub-population manufactures a leader",
+        )
+
+    control_ok = all(control_stays_stable(n1, seed, horizon) for n1, _ in pairs)
+    report.add_check(
+        "control-correct-size-stable",
+        passed=control_ok,
+        measured=control_ok,
+        expected="correctly sized protocol keeps exactly one leader",
+    )
+    report.add_check(
+        "state-count-lower-bound",
+        passed=all(
+            silent_n_state_count(n1) >= n1
+            and optimal_silent_state_count(n1) >= n1
+            for n1, _ in pairs
+        ),
+        measured={n1: silent_n_state_count(n1) for n1, _ in pairs},
+        expected=">= n states (Theorem 2.1)",
+    )
+    report.notes.append(
+        "The runs that 'break' use Silent-n-state-SSR's size-n1 transition "
+        "rule on n2 > n1 agents; leaders are agents at rank 0."
+    )
+    return report

@@ -1,0 +1,155 @@
+"""Theorem 4.1 / Corollary 4.2: Optimal-Silent-SSR's time *distribution*.
+
+Table 1 states two different bounds for Optimal-Silent-SSR: Theta(n)
+in expectation but Theta(n log n) with high probability.  The gap comes
+from the epoch structure (Section 2): each reset epoch costs Theta(n)
+time and succeeds (unique leader survives the dormant election) with
+constant probability, so the number of epochs is geometric -- the mean
+is a constant number of epochs, but pushing the failure probability
+down to O(1/n) takes Theta(log n) epochs, hence the extra log factor at
+the 1 - O(1/n) quantile.
+
+Fixed-order quantiles such as q90 cannot show this (they correspond to
+a *constant* failure probability, i.e. O(1) epochs); what can is the
+epoch-geometric shape of the tail itself.  Using the array-based fast
+simulator (cross-validated against the reference engine) this
+experiment measures, across n up to 512:
+
+* the mean (extending Table 1 row 2's Theta(n) fit far beyond the
+  generic engine's range, with many more trials),
+* the exponential-tail scale (mean excess over the median), whose
+  *ratio to n* should stay roughly constant -- each extra epoch costs
+  Theta(n) -- and
+* the implied 1 - 1/n quantile ``median + scale * ln(n)``, whose growth
+  fits n log n rather than n.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.stats import quantile, summarize_trials
+from repro.core.fastpath_optimal_silent import OptimalSilentFastSim
+from repro.core.rng import DEFAULT_SEED, make_rng
+from repro.experiments.common import ExperimentReport
+
+EXPERIMENT_ID = "whp"
+TITLE = "Optimal-Silent-SSR: Theta(n) mean vs Theta(n log n) WHP tail"
+
+
+def stabilization_times(n: int, trials: int, seed: int) -> List[float]:
+    times: List[float] = []
+    budget = 50_000 * n * max(1, n)
+    for trial in range(trials):
+        sim = OptimalSilentFastSim(n, make_rng(seed, "whp", n, trial))
+        sim.random_start()
+        times.append(sim.run_to_convergence(budget) / n)
+    return times
+
+
+def tail_scale(times: List[float]) -> float:
+    """Mean excess over the median: the exponential-tail scale estimate.
+
+    For a geometric/exponential right tail, excesses over any threshold
+    are (approximately) exponential with a common scale; the median is a
+    robust threshold with half the sample above it.
+    """
+    med = quantile(times, 0.5)
+    excesses = [t - med for t in times if t > med]
+    if not excesses:
+        return 0.0
+    return sum(excesses) / len(excesses)
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
+    if quick:
+        ns, trials = [32, 64, 128], 60
+    else:
+        ns, trials = [32, 64, 128, 256, 512], 120
+
+    report = ExperimentReport(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "n",
+            "mean_time",
+            "median",
+            "q90",
+            "tail_scale",
+            "scale_over_n",
+            "implied_whp_quantile",
+            "trials",
+        ],
+    )
+
+    means: Dict[int, float] = {}
+    scales: Dict[int, float] = {}
+    implied: Dict[int, float] = {}
+    for n in ns:
+        times = stabilization_times(n, trials, seed)
+        summary = summarize_trials(times)
+        scale = tail_scale(times)
+        means[n] = summary.mean
+        scales[n] = scale
+        # Exponential tail: q_{1 - 1/n} ~ median + scale * ln(n / 2).
+        implied[n] = summary.median + scale * math.log(max(n / 2.0, 2.0))
+        report.add_row(
+            n=n,
+            mean_time=summary.mean,
+            median=summary.median,
+            q90=summary.q90,
+            tail_scale=scale,
+            scale_over_n=scale / n,
+            implied_whp_quantile=implied[n],
+            trials=trials,
+        )
+
+    mean_fit = fit_power_law(ns, [means[n] for n in ns])
+    report.add_check(
+        "mean-linear-up-to-512",
+        passed=0.7 <= mean_fit.exponent <= 1.3,
+        measured=round(mean_fit.exponent, 3),
+        expected="Theta(n) expectation: exponent ~ 1",
+    )
+
+    # Each extra epoch costs Theta(n): the tail scale normalized by n
+    # should be bounded above and below across the sweep.
+    ratios = [scales[n] / n for n in ns]
+    report.add_check(
+        "tail-scale-linear-in-n",
+        passed=max(ratios) / max(min(ratios), 1e-9) < 6.0,
+        measured=[round(r, 2) for r in ratios],
+        expected="scale/n roughly constant (epoch cost Theta(n))",
+    )
+
+    implied_fit = fit_power_law(ns, [implied[n] for n in ns])
+    report.add_check(
+        "whp-quantile-superlinear",
+        passed=implied_fit.exponent > mean_fit.exponent + 0.02,
+        measured=(
+            f"implied-quantile exponent {implied_fit.exponent:.3f} vs "
+            f"mean exponent {mean_fit.exponent:.3f}"
+        ),
+        expected="1 - 1/n quantile grows faster than the mean (n log n vs n)",
+    )
+    nlogn_ratios = [implied[n] / (n * math.log(n)) for n in ns]
+    report.add_check(
+        "whp-quantile-tracks-nlogn",
+        passed=max(nlogn_ratios) / max(min(nlogn_ratios), 1e-9) < 4.0,
+        measured=[round(r, 2) for r in nlogn_ratios],
+        expected="implied quantile / (n ln n) roughly constant",
+    )
+
+    report.notes.append(
+        "Simulator: array-based fast path (distribution-validated against "
+        "the reference engine); starts: uniformly random adversarial "
+        "configurations."
+    )
+    report.notes.append(
+        "q90 is a constant-failure-probability quantile and stays Theta(n); "
+        "the Theta(n log n) WHP bound lives at the 1 - 1/n quantile, "
+        "estimated here from the epoch-geometric tail (median + scale ln n)."
+    )
+    return report

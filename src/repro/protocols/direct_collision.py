@@ -1,0 +1,38 @@
+"""The silent Theta(n)-time variant of Sublinear-Time-SSR (Section 5.1).
+
+Setting the history depth to ``H = 0`` strips Detect-Name-Collision down
+to its base mechanism -- two agents carrying the same name recognize the
+collision when they meet directly -- and the resulting protocol is
+*silent*: once ranks are assigned nothing ever changes again.  The paper
+discusses this variant explicitly ("we can implement a silent protocol
+on top of this scheme if we are content with Theta(n) time"); it also
+marks the boundary drawn by Observation 2.2, being exactly the protocol
+whose silence forces linear time.
+
+:class:`DirectCollisionSSR` is a named alias for
+``SublinearTimeSSR(n, h=0)`` so the variant is discoverable as its own
+protocol in the public API, benchmarks and batteries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.parameters import SublinearParameters
+from repro.protocols.sublinear.protocol import SublinearTimeSSR
+
+
+class DirectCollisionSSR(SublinearTimeSSR):
+    """Silent self-stabilizing ranking via direct collision detection.
+
+    Theta(n) expected stabilization time (two same-named agents must meet
+    in person), exponential states (the roster is still a set of names),
+    silent -- time-optimal within silent protocols only up to the
+    Optimal-Silent-SSR comparison, which achieves the same Theta(n) with
+    Theta(n) states.
+    """
+
+    def __init__(self, n: int, params: Optional[SublinearParameters] = None):
+        if params is not None and params.h != 0:
+            raise ValueError(f"DirectCollisionSSR requires h=0 params, got {params.h}")
+        super().__init__(n, h=0, params=params)

@@ -1,0 +1,94 @@
+"""Leader election on top of ranking.
+
+Every protocol in this package solves self-stabilizing *ranking*, which
+subsumes leader election: the agent holding rank 1 is the leader (the
+paper omits the explicit ``leader`` bit for exactly this reason).  This
+module makes the derivation concrete:
+
+* :func:`leader_flags` / :func:`count_leaders` -- read the leader bit
+  out of any ranking protocol's configuration;
+* :class:`ImmobilizedLeaderProtocol` -- the transform of the paper's
+  footnote 7: a protocol solving SSLE may let the single leader *bit*
+  hop between agents; swapping the two post-interaction states whenever
+  an interaction would hand leadership from one participant to the other
+  pins the bit to one physical agent, without changing the multiset of
+  states (and hence without changing any correctness or complexity
+  property in the complete-graph model).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, TypeVar
+
+from repro.protocols.base import RankingProtocol
+
+S = TypeVar("S")
+
+
+def leader_flags(protocol: RankingProtocol[S], states: Sequence[S]) -> List[bool]:
+    """Per-agent leader bits (rank 1 = leader)."""
+    return [protocol.is_leader(state) for state in states]
+
+
+def count_leaders(protocol: RankingProtocol[S], states: Sequence[S]) -> int:
+    """Number of agents currently holding the leader bit."""
+    return sum(leader_flags(protocol, states))
+
+
+def has_unique_leader(protocol: RankingProtocol[S], states: Sequence[S]) -> bool:
+    """The leader-election correctness predicate."""
+    return count_leaders(protocol, states) == 1
+
+
+class ImmobilizedLeaderProtocol(RankingProtocol[S]):
+    """Wraps a ranking protocol so the leader bit never changes agents.
+
+    If an interaction of the underlying protocol would transfer the
+    leader bit from one participant to the other, the two resulting
+    states are swapped (footnote 7 of the paper).  Agents are anonymous
+    and the graph complete, so the swapped execution is statistically
+    indistinguishable from the original -- only the identity of the
+    physical agent holding each state changes.
+    """
+
+    def __init__(self, inner: RankingProtocol[S]):
+        super().__init__(inner.n)
+        self.inner = inner
+        self.silent = inner.silent
+
+    def transition(self, initiator: S, responder: S, rng: random.Random) -> Tuple[S, S]:
+        led_a = self.inner.is_leader(initiator)
+        led_b = self.inner.is_leader(responder)
+        new_a, new_b = self.inner.transition(initiator, responder, rng)
+        leads_a = self.inner.is_leader(new_a)
+        leads_b = self.inner.is_leader(new_b)
+        transferred = (led_a and not led_b and leads_b and not leads_a) or (
+            led_b and not led_a and leads_a and not leads_b
+        )
+        if transferred:
+            return new_b, new_a
+        return new_a, new_b
+
+    # Pure delegation below.
+
+    def initial_state(self, rng: random.Random) -> S:
+        return self.inner.initial_state(rng)
+
+    def random_state(self, rng: random.Random) -> S:
+        return self.inner.random_state(rng)
+
+    def rank_of(self, state: S) -> Optional[int]:
+        return self.inner.rank_of(state)
+
+    def summarize(self, state: S):
+        return self.inner.summarize(state)
+
+    def describe(self, state: S) -> str:
+        return self.inner.describe(state)
+
+    def is_pair_null(self, a: S, b: S) -> bool:
+        return self.inner.is_pair_null(a, b)
+
+    def state_count(self) -> int:
+        return self.inner.state_count()

@@ -1,0 +1,142 @@
+"""The naming problem, and the paper's problem hierarchy.
+
+Section 1.1 places three problems in a strict hierarchy:
+
+    ranking  =>  naming  =>  leader election      (converses fail)
+
+* **Naming** assigns every agent a unique identifier.  Any ranking
+  solves it -- ranks are unique names -- but naming is weaker: names
+  carry no order information an agent can act on locally ("it may not
+  be straightforward to determine whether some agent exists with a
+  smaller name").
+* **Leader election** follows from naming only with extra machinery;
+  from ranking it is immediate (rank 1).
+
+This module gives the hierarchy a concrete API:
+
+* :func:`ranking_as_names` / :func:`naming_correct` -- the derivation
+  ranking => naming for any :class:`RankingProtocol`;
+* :func:`sublinear_names_view` -- Sublinear-Time-SSR additionally
+  solves naming *through its name field* before rosters fill (its
+  names stabilize strictly earlier than its ranks, which is measurable:
+  see ``tests/protocols/test_naming.py``);
+* :class:`NamingOnlyProtocol` -- a deliberately weakened wrapper that
+  exposes names but censors their order, witnessing that the naming =>
+  ranking converse has no generic derivation (each agent sees a bag of
+  opaque tokens).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.protocols.base import RankingProtocol
+from repro.protocols.sublinear.protocol import SubRole, SublinearAgent
+
+S = TypeVar("S")
+
+
+def names_are_unique(names: Sequence[Optional[Hashable]]) -> bool:
+    """The naming correctness predicate: all present, all distinct."""
+    if any(name is None for name in names):
+        return False
+    return len(set(names)) == len(names)
+
+
+def ranking_as_names(
+    protocol: RankingProtocol[S], states: Sequence[S]
+) -> List[Optional[int]]:
+    """Ranking => naming: each agent's rank is its name."""
+    return [protocol.rank_of(state) for state in states]
+
+
+def naming_correct(protocol: RankingProtocol[S], states: Sequence[S]) -> bool:
+    """Whether the ranking-derived naming is correct.
+
+    Note the asymmetry this makes visible: ranking correctness requires
+    the names to be exactly ``{1..n}``; naming only requires
+    distinctness, so a configuration can be naming-correct long before
+    (or without ever) being ranking-correct.
+    """
+    return names_are_unique(ranking_as_names(protocol, states))
+
+
+def sublinear_names_view(states: Sequence[SublinearAgent]) -> List[Optional[str]]:
+    """Sublinear-Time-SSR's *intrinsic* naming output: the name field.
+
+    ``None`` while an agent is resetting or still regrowing its name --
+    those configurations are naming-incorrect by definition.
+    """
+    names: List[Optional[str]] = []
+    for state in states:
+        if state.role is not SubRole.COLLECTING or not state.name:
+            names.append(None)
+        else:
+            names.append(state.name)
+    return names
+
+
+class NamingOnlyProtocol(RankingProtocol[Tuple]):
+    """A ranking protocol with the order of its output censored.
+
+    Wraps any ranking protocol and replaces each rank by an opaque token
+    (a salted hash), preserving distinctness -- so naming correctness is
+    untouched -- while destroying comparability.  Exists to make the
+    "converse does not hold" direction of the hierarchy concrete and
+    testable: no order-free post-processing of this protocol's output
+    can recover the ranking, because the order information is simply not
+    there.
+    """
+
+    def __init__(self, inner: RankingProtocol[S], salt: int = 0x5A17):
+        super().__init__(inner.n)
+        self.inner = inner
+        self.salt = salt
+        self.silent = inner.silent
+
+    def token_of(self, state: S) -> Optional[int]:
+        """The censored (opaque but stable) name for a state."""
+        rank = self.inner.rank_of(state)
+        if rank is None:
+            return None
+        # A fixed permutation-ish scrambling of 1..n: multiply by an odd
+        # constant mod a prime above n, derived from the salt.
+        modulus = _next_prime(max(self.n + 1, 3))
+        multiplier = (2 * (self.salt % modulus) + 1) % modulus or 1
+        return (rank * multiplier) % modulus
+
+    # -- delegation ------------------------------------------------------
+
+    def transition(self, a, b, rng: random.Random):
+        return self.inner.transition(a, b, rng)
+
+    def initial_state(self, rng: random.Random):
+        return self.inner.initial_state(rng)
+
+    def random_state(self, rng: random.Random):
+        return self.inner.random_state(rng)
+
+    def rank_of(self, state) -> Optional[int]:
+        # Deliberately NOT the inner rank: the wrapper's observable
+        # output is the token, which admits no order.
+        return None
+
+    def is_correct(self, states) -> bool:
+        """Correct as a *naming* protocol: all tokens present, distinct."""
+        return names_are_unique([self.token_of(s) for s in states])
+
+    def summarize(self, state):
+        return self.inner.summarize(state)
+
+    def is_pair_null(self, a, b) -> bool:
+        return self.inner.is_pair_null(a, b)
+
+
+def _next_prime(value: int) -> int:
+    """Smallest prime >= value (tiny inputs only)."""
+    candidate = max(value, 2)
+    while True:
+        if all(candidate % d for d in range(2, int(candidate**0.5) + 1)):
+            return candidate
+        candidate += 1

@@ -1,0 +1,25 @@
+"""Protocols 5-8: Sublinear-Time-SSR and its collision-detection machinery.
+
+Public API re-exports:
+
+* :class:`repro.protocols.sublinear.protocol.SublinearTimeSSR` -- the
+  parameterized protocol (depth ``H``); ``H = ceil(log2 n)`` gives the
+  time-optimal O(log n) protocol, ``H = 0`` the silent Theta(n) variant.
+* :mod:`repro.protocols.sublinear.history_tree` -- the interaction-history
+  tree data structure of Section 5.2 (Figure 2).
+"""
+
+from repro.protocols.sublinear.history_tree import HistoryTree, TreeEdge
+from repro.protocols.sublinear.protocol import (
+    SubRole,
+    SublinearAgent,
+    SublinearTimeSSR,
+)
+
+__all__ = [
+    "HistoryTree",
+    "TreeEdge",
+    "SubRole",
+    "SublinearAgent",
+    "SublinearTimeSSR",
+]

@@ -1,0 +1,90 @@
+"""Tests for the epidemic and bounded-epidemic simulators."""
+
+import pytest
+
+from repro.analysis.bounded_epidemic import simulate_bounded_epidemic, tau_theory
+from repro.analysis.epidemic import (
+    one_way_epidemic_expected_time,
+    simulate_one_way_epidemic,
+    simulate_two_way_epidemic,
+    two_way_epidemic_expected_time,
+)
+from repro.core.rng import make_rng
+
+
+class TestEpidemicSimulators:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_one_way_epidemic(1, rng)
+        with pytest.raises(ValueError):
+            simulate_one_way_epidemic(5, rng, initial_infected=0)
+
+    def test_fully_infected_start_finishes_instantly(self, rng):
+        assert simulate_one_way_epidemic(5, rng, initial_infected=5) == 0
+
+    def test_two_agents_need_exactly_the_meeting(self, rng):
+        interactions = simulate_two_way_epidemic(2, rng)
+        assert interactions >= 1
+
+    def test_one_way_mean_matches_closed_form(self):
+        n, trials = 64, 400
+        total = 0
+        for t in range(trials):
+            total += simulate_one_way_epidemic(n, make_rng(5, "e", t))
+        measured_time = total / trials / n
+        assert measured_time == pytest.approx(
+            one_way_epidemic_expected_time(n), rel=0.1
+        )
+
+    def test_two_way_is_twice_as_fast_in_expectation(self):
+        n = 128
+        assert two_way_epidemic_expected_time(n) == pytest.approx(
+            one_way_epidemic_expected_time(n) / 2
+        )
+
+    def test_two_way_measured_vs_theory(self):
+        n, trials = 64, 400
+        total = sum(
+            simulate_two_way_epidemic(n, make_rng(6, "e2", t)) for t in range(trials)
+        )
+        assert total / trials / n == pytest.approx(
+            two_way_epidemic_expected_time(n), rel=0.1
+        )
+
+
+class TestBoundedEpidemic:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_bounded_epidemic(1, [1], rng)
+        with pytest.raises(ValueError):
+            simulate_bounded_epidemic(8, [], rng)
+        with pytest.raises(ValueError):
+            simulate_bounded_epidemic(8, [0], rng)
+
+    def test_records_all_requested_ks(self, rng):
+        result = simulate_bounded_epidemic(32, [1, 2, 4], rng)
+        assert set(result.tau) == {1, 2, 4}
+
+    def test_tau_monotone_in_k(self, rng):
+        result = simulate_bounded_epidemic(64, [1, 2, 3], rng)
+        assert result.tau[1] >= result.tau[2] >= result.tau[3]
+
+    def test_budget_guard(self, rng):
+        with pytest.raises(RuntimeError):
+            simulate_bounded_epidemic(32, [1], rng, max_interactions=3)
+
+    def test_tau1_mean_is_linear(self):
+        # tau_1 requires the *ordered* interaction (source -> target):
+        # probability 1/(n(n-1)) per step, so mean n - 1 parallel time.
+        n, trials = 32, 300
+        total = sum(
+            simulate_bounded_epidemic(n, [1], make_rng(7, "tau", t)).tau[1]
+            for t in range(trials)
+        )
+        assert total / trials == pytest.approx(n - 1, rel=0.2)
+
+    def test_theory_curve(self):
+        assert tau_theory(64, 1) == 64
+        assert tau_theory(64, 2) == pytest.approx(16.0)
+        with pytest.raises(ValueError):
+            tau_theory(64, 0)

@@ -1,0 +1,29 @@
+"""Tests for repro.analysis.harmonic."""
+
+import math
+
+import pytest
+
+from repro.analysis.harmonic import harmonic
+
+
+class TestHarmonic:
+    def test_small_exact_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(25 / 12)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+    def test_asymptotic_branch_continuous(self):
+        # The expansion used beyond 10_000 agrees with the direct sum.
+        direct = sum(1.0 / i for i in range(1, 20_001))
+        assert harmonic(20_000) == pytest.approx(direct, rel=1e-12)
+
+    def test_grows_like_log(self):
+        assert harmonic(100_000) == pytest.approx(
+            math.log(100_000) + 0.5772156649, abs=1e-4
+        )

@@ -1,0 +1,102 @@
+"""Tests for the roll-call and coupon-collector processes."""
+
+import pytest
+
+from repro.analysis.coupon import (
+    coupon_collector_expected_time,
+    simulate_coupon_collector,
+    simulate_slow_leader_election,
+    slow_leader_election_expected_time,
+)
+from repro.analysis.epidemic import simulate_two_way_epidemic
+from repro.analysis.rollcall import rollcall_expected_time_estimate, simulate_rollcall
+from repro.core.rng import make_rng
+
+
+class TestRollcall:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_rollcall(1, rng)
+
+    def test_two_agents_complete_on_first_meeting(self, rng):
+        assert simulate_rollcall(2, rng) == 1
+
+    def test_budget_guard(self, rng):
+        with pytest.raises(RuntimeError):
+            simulate_rollcall(16, rng, max_interactions=2)
+
+    def test_rollcall_slower_than_epidemic_but_same_order(self):
+        n, trials = 128, 60
+        rollcall = sum(
+            simulate_rollcall(n, make_rng(1, "rc", t)) for t in range(trials)
+        )
+        epidemic = sum(
+            simulate_two_way_epidemic(n, make_rng(1, "ep", t)) for t in range(trials)
+        )
+        ratio = rollcall / epidemic
+        assert 1.1 <= ratio <= 2.2  # ~1.5 per the paper
+
+    def test_estimate_helper(self):
+        assert rollcall_expected_time_estimate(64) == pytest.approx(
+            1.5 * 4.648, rel=0.05
+        )
+
+
+class TestCouponCollector:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_coupon_collector(0, rng)
+
+    def test_single_coupon(self, rng):
+        assert simulate_coupon_collector(1, rng) == 1
+
+    def test_mean_matches_n_h_n(self):
+        n, trials = 20, 800
+        total = sum(
+            simulate_coupon_collector(n, make_rng(2, "cc", t)) for t in range(trials)
+        )
+        assert total / trials == pytest.approx(
+            coupon_collector_expected_time(n), rel=0.05
+        )
+
+
+class TestSlowLeaderElection:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_slow_leader_election(5, rng, initial_leaders=6)
+        with pytest.raises(ValueError):
+            slow_leader_election_expected_time(5, initial_leaders=-1)
+
+    def test_single_leader_needs_no_interaction(self, rng):
+        assert simulate_slow_leader_election(5, rng, initial_leaders=1) == 0
+
+    def test_expected_time_closed_form(self):
+        # E[time] = (n - 1)(1 - 1/L).
+        assert slow_leader_election_expected_time(10) == pytest.approx(8.1)
+        assert slow_leader_election_expected_time(10, initial_leaders=2) == pytest.approx(
+            4.5
+        )
+
+    def test_mean_matches_closed_form(self):
+        n, trials = 16, 600
+        total = sum(
+            simulate_slow_leader_election(n, make_rng(3, "sle", t))
+            for t in range(trials)
+        )
+        measured_time = total / trials / n
+        assert measured_time == pytest.approx(
+            slow_leader_election_expected_time(n), rel=0.1
+        )
+
+    def test_linear_in_n(self):
+        # The Theta(n) fact that forces D_max = Theta(n) in Section 4.
+        times = []
+        for n in (16, 32, 64):
+            trials = 200
+            total = sum(
+                simulate_slow_leader_election(n, make_rng(4, "sle", n, t))
+                for t in range(trials)
+            )
+            times.append(total / trials / n)
+        assert times[1] / times[0] == pytest.approx(2.0, rel=0.25)
+        assert times[2] / times[1] == pytest.approx(2.0, rel=0.25)

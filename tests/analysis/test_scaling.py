@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.scaling."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.scaling import (
+    fit_logarithm,
+    fit_power_law,
+    successive_ratios,
+)
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_power_law(self):
+        xs = [4, 8, 16, 32]
+        ys = [3.0 * x**1.7 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.7, abs=1e-9)
+        assert fit.constant == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([2, 4, 8], [4, 16, 64])
+        assert fit.predict(16) == pytest.approx(256, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, -2])
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 1])
+
+    @given(
+        exponent=st.floats(-2, 3),
+        constant=st.floats(0.1, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, exponent, constant):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [constant * x**exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+
+
+class TestFitLogarithm:
+    def test_recovers_exact_log(self):
+        xs = [4, 8, 16, 32]
+        ys = [2.0 + 5.0 * math.log(x) for x in xs]
+        fit = fit_logarithm(xs, ys)
+        assert fit.slope == pytest.approx(5.0, abs=1e-9)
+        assert fit.intercept == pytest.approx(2.0, abs=1e-9)
+        assert fit.predict(64) == pytest.approx(2.0 + 5.0 * math.log(64))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_logarithm([0, 2], [1, 1])
+
+
+class TestSuccessiveRatios:
+    def test_doubling_ratio(self):
+        assert successive_ratios([2, 4, 8], [10, 40, 160]) == pytest.approx(
+            [4.0, 4.0]
+        )
+
+    def test_normalizes_to_per_doubling(self):
+        # x quadruples, y x16: per-doubling ratio 4.
+        assert successive_ratios([2, 8], [10, 160]) == pytest.approx([4.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            successive_ratios([2], [1])
+        with pytest.raises(ValueError):
+            successive_ratios([4, 2], [1, 1])
+        with pytest.raises(ValueError):
+            successive_ratios([2, 4], [0, 1])

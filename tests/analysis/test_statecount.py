@@ -1,0 +1,70 @@
+"""Tests for repro.analysis.statecount (Table 1 "states" column)."""
+
+import math
+
+import pytest
+
+from repro.analysis.statecount import (
+    names_count,
+    optimal_silent_state_count,
+    roster_log2_count,
+    silent_n_state_count,
+    sublinear_state_log2_estimate,
+    tree_node_budget,
+)
+from repro.protocols.optimal_silent import OptimalSilentSSR
+
+
+class TestSilentNState:
+    def test_exactly_n(self):
+        assert silent_n_state_count(37) == 37
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            silent_n_state_count(1)
+
+
+class TestOptimalSilent:
+    def test_matches_protocol_counter(self):
+        for n in (8, 32, 100):
+            assert optimal_silent_state_count(n) == OptimalSilentSSR(n).state_count()
+
+    def test_at_least_n(self):
+        # Theorem 2.1: any SSLE protocol needs >= n states.
+        for n in (8, 64, 512):
+            assert optimal_silent_state_count(n) >= n
+
+    def test_linear_growth(self):
+        big = optimal_silent_state_count(1 << 12)
+        small = optimal_silent_state_count(1 << 8)
+        assert big / small < 32  # far below quadratic (would be 256)
+
+
+class TestSublinearEstimates:
+    def test_names_count(self):
+        assert names_count(2) == 7  # eps, 0, 1, 00, 01, 10, 11
+
+    def test_tree_node_budget(self):
+        assert tree_node_budget(5, 0) == 1
+        assert tree_node_budget(5, 2) == 1 + 4 + 16
+        with pytest.raises(ValueError):
+            tree_node_budget(5, -1)
+
+    def test_roster_alone_is_exponential(self):
+        # log2(#rosters) = Omega(n log n) => exponential states.
+        n = 16
+        bits = 3 * math.ceil(math.log2(n))
+        assert roster_log2_count(n, bits) > n  # far more than poly(n) bits
+
+    def test_estimate_grows_with_h(self):
+        low = sublinear_state_log2_estimate(16, 1)
+        high = sublinear_state_log2_estimate(16, 3)
+        assert high > low > 0
+
+    def test_h_scaling_matches_paper_shape(self):
+        # log(states) = Theta(n^H log n): increasing one H multiplies the
+        # log by roughly n (up to the additive roster term).
+        n = 16
+        h2 = sublinear_state_log2_estimate(n, 2)
+        h3 = sublinear_state_log2_estimate(n, 3)
+        assert 4 < h3 / h2 < 2 * n

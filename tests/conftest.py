@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG, fresh per test."""
+    return random.Random(0xC0FFEE)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration tests (deselect with -m 'not slow')"
+    )

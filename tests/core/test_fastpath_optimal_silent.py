@@ -1,0 +1,127 @@
+"""Tests for the array-based Optimal-Silent-SSR simulator.
+
+The load-bearing test is distributional parity with the generic engine:
+same protocol, same start, statistically indistinguishable
+stabilization times.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.fastpath_optimal_silent import (
+    RESETTING,
+    SETTLED,
+    UNSETTLED,
+    OptimalSilentFastSim,
+)
+from repro.core.rng import make_rng
+from repro.experiments.common import measure_convergence
+from repro.protocols.optimal_silent import OptimalSilentSSR, Role
+
+
+class TestConstruction:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            OptimalSilentFastSim(1, make_rng(0, "x"))
+
+    def test_duplicate_rank_start_tracks_counts(self):
+        sim = OptimalSilentFastSim(6, make_rng(0, "x"))
+        sim.duplicate_rank_start()
+        assert not sim.correct
+        assert sorted(sim.rank) == [1, 1, 2, 3, 4, 5]
+
+    def test_from_states_round_trip(self):
+        protocol = OptimalSilentSSR(8)
+        rng = make_rng(1, "enc")
+        states = protocol.random_configuration(rng)
+        sim = OptimalSilentFastSim.from_states(states, rng, protocol.params)
+        for index, agent in enumerate(states):
+            if agent.role is Role.SETTLED:
+                assert sim.role[index] == SETTLED
+                assert sim.rank[index] == agent.rank
+            elif agent.role is Role.UNSETTLED:
+                assert sim.role[index] == UNSETTLED
+                assert sim.errorcount[index] == agent.errorcount
+            else:
+                assert sim.role[index] == RESETTING
+                assert sim.resetcount[index] == agent.resetcount
+
+    def test_correct_flag_matches_protocol_predicate(self):
+        protocol = OptimalSilentSSR(6)
+        rng = make_rng(2, "enc")
+        states = protocol.ranked_configuration()
+        sim = OptimalSilentFastSim.from_states(states, rng, protocol.params)
+        assert sim.correct
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("start", ["duplicate", "random", "triggered"])
+    def test_converges(self, start):
+        sim = OptimalSilentFastSim(16, make_rng(3, "conv", start))
+        if start == "duplicate":
+            sim.duplicate_rank_start()
+        elif start == "random":
+            sim.random_start()
+        else:
+            sim.all_triggered_start()
+        sim.run_to_convergence(max_interactions=20_000_000)
+        assert sim.correct
+        assert sorted(sim.rank) == list(range(1, 17))
+
+    def test_budget_guard(self):
+        sim = OptimalSilentFastSim(16, make_rng(4, "budget"))
+        sim.duplicate_rank_start()
+        with pytest.raises(RuntimeError):
+            sim.run_to_convergence(max_interactions=3)
+
+    def test_correct_start_is_instant(self):
+        protocol = OptimalSilentSSR(8)
+        sim = OptimalSilentFastSim.from_states(
+            protocol.ranked_configuration(), make_rng(5, "inst"), protocol.params
+        )
+        assert sim.run_to_convergence(max_interactions=10) == 0
+
+
+@pytest.mark.slow
+class TestParityWithGenericEngine:
+    """Stabilization-time distributions must match the reference engine."""
+
+    N = 8
+    TRIALS = 250
+
+    def fast_times(self):
+        times = []
+        for trial in range(self.TRIALS):
+            sim = OptimalSilentFastSim(self.N, make_rng(7, "fastpar", trial))
+            sim.duplicate_rank_start()
+            times.append(
+                sim.run_to_convergence(max_interactions=50_000_000) / self.N
+            )
+        return times
+
+    def generic_times(self):
+        times = []
+        for trial in range(self.TRIALS):
+            protocol = OptimalSilentSSR(self.N)
+            rng = make_rng(8, "genpar", trial)
+            outcome = measure_convergence(
+                protocol,
+                protocol.duplicate_rank_configuration(rank=1),
+                rng=rng,
+                max_time=500_000.0,
+            )
+            assert outcome.converged
+            times.append(outcome.convergence_time)
+        return times
+
+    def test_means_and_spread_match(self):
+        fast = self.fast_times()
+        generic = self.generic_times()
+        mean_fast = statistics.mean(fast)
+        mean_generic = statistics.mean(generic)
+        assert mean_fast == pytest.approx(mean_generic, rel=0.12)
+        # Same order of dispersion, not just the same mean.
+        assert statistics.median(fast) == pytest.approx(
+            statistics.median(generic), rel=0.2
+        )

@@ -1,0 +1,118 @@
+"""Tests for the graph-restricted scheduler (beyond-the-paper extension)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.rng import make_rng
+from repro.core.scheduler import GraphScheduler, UniformRandomScheduler
+from repro.core.simulation import Simulation
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+
+
+class TestConstruction:
+    def test_validates_edges(self):
+        with pytest.raises(ValueError):
+            GraphScheduler(4, [(0, 4)])
+        with pytest.raises(ValueError):
+            GraphScheduler(4, [(1, 1)])
+        with pytest.raises(ValueError):
+            GraphScheduler(4, [])
+        with pytest.raises(ValueError):
+            GraphScheduler(1, [(0, 0)])
+
+    def test_duplicate_edges_collapsed(self):
+        scheduler = GraphScheduler(3, [(0, 1), (1, 0), (0, 1)])
+        assert scheduler.edges == [(0, 1)]
+
+    def test_factories(self):
+        assert len(GraphScheduler.complete(5).edges) == 10
+        assert len(GraphScheduler.ring(5).edges) == 5
+        assert len(GraphScheduler.star(5).edges) == 4
+
+
+class TestSampling:
+    def test_pairs_only_on_edges(self, rng):
+        scheduler = GraphScheduler.ring(6)
+        allowed = {frozenset(edge) for edge in scheduler.edges}
+        for _ in range(500):
+            i, j = scheduler.next_pair(rng)
+            assert frozenset((i, j)) in allowed
+
+    def test_both_orientations_sampled(self, rng):
+        scheduler = GraphScheduler(2, [(0, 1)])
+        seen = {scheduler.next_pair(rng) for _ in range(100)}
+        assert seen == {(0, 1), (1, 0)}
+
+    def test_edges_roughly_uniform(self, rng):
+        scheduler = GraphScheduler.star(4)
+        counts = Counter(
+            frozenset(scheduler.next_pair(rng)) for _ in range(9000)
+        )
+        for edge, count in counts.items():
+            assert abs(count - 3000) < 400, edge
+
+    def test_complete_matches_uniform_support(self, rng):
+        graph = GraphScheduler.complete(4)
+        uniform = UniformRandomScheduler(4)
+        graph_pairs = {graph.next_pair(rng) for _ in range(2000)}
+        uniform_pairs = {uniform.next_pair(rng) for _ in range(2000)}
+        assert graph_pairs == uniform_pairs == {
+            (i, j) for i in range(4) for j in range(4) if i != j
+        }
+
+
+class TestProtocolOnGraphs:
+    """Why the paper's complete-graph assumption matters: the protocols
+    detect errors through *direct* meetings of conflicting agents, so on
+    a sparse graph two same-rank agents that never share an edge deadlock
+    the baseline in an incorrect-but-quiescent configuration.  (Solving
+    SSLE on restricted topologies is its own line of work -- Chen & Chen
+    PODC'19, Sudo et al. SIROCCO'20 -- cited, not reproduced, here.)"""
+
+    def test_ciw_converges_on_complete_graph_scheduler(self):
+        n = 6
+        protocol = SilentNStateSSR(n)
+        rng = make_rng(1, "graph", "complete")
+        monitor = protocol.convergence_monitor()
+        sim = Simulation(
+            protocol,
+            protocol.worst_case_configuration(),
+            rng=rng,
+            scheduler=GraphScheduler.complete(n),
+            monitors=[monitor],
+        )
+        budget = 3_000_000
+        while not monitor.correct:
+            assert sim.interactions < budget
+            sim.step()
+        assert protocol.is_correct(sim.states)
+
+    def test_ciw_deadlocks_on_a_ring(self):
+        # Ranks [0,1,0,1,0,1] on a 6-cycle: every edge joins distinct
+        # ranks, so no transition is ever applicable -- yet the
+        # configuration is incorrect.  Self-stabilization is lost.
+        n = 6
+        protocol = SilentNStateSSR(n)
+        rng = make_rng(2, "graph", "ring")
+        states = [0, 1, 0, 1, 0, 1]
+        sim = Simulation(
+            protocol, states, rng=rng, scheduler=GraphScheduler.ring(n)
+        )
+        sim.run(50_000)
+        assert sim.states == [0, 1, 0, 1, 0, 1]
+        assert not protocol.is_correct(sim.states)
+
+    def test_ciw_deadlocks_on_a_star_with_leaf_duplicates(self):
+        # Two equal-rank leaves never interact on a star; with the center
+        # holding a rank that collides with nobody, nothing ever fires.
+        n = 5
+        protocol = SilentNStateSSR(n)
+        rng = make_rng(3, "graph", "star")
+        states = [4, 0, 0, 1, 2]  # center=agent 0 at rank 4; leaves collide
+        sim = Simulation(
+            protocol, states, rng=rng, scheduler=GraphScheduler.star(n)
+        )
+        sim.run(50_000)
+        assert sim.states == [4, 0, 0, 1, 2]
+        assert not protocol.is_correct(sim.states)

@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.asciiplot import AsciiChart, scaling_chart
+
+
+class TestValidation:
+    def test_marker_must_be_one_char(self):
+        chart = AsciiChart()
+        with pytest.raises(ValueError):
+            chart.add_series("x", [(1, 1)], marker="ab")
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiChart().add_series("x", [], marker="*")
+
+    def test_loglog_rejects_nonpositive(self):
+        chart = AsciiChart(loglog=True)
+        with pytest.raises(ValueError):
+            chart.add_series("x", [(0, 1)], marker="*")
+
+    def test_render_without_series_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiChart().render()
+
+
+class TestRendering:
+    def test_dimensions(self):
+        chart = AsciiChart(width=30, height=8, title="T")
+        chart.add_series("a", [(0, 0), (1, 1)], marker="*")
+        lines = chart.render().splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 8 + 3  # title + grid + axis + ticks + legend
+        grid_line = lines[1]
+        assert len(grid_line) == 8 + 2 + 30  # label gutter + "|" + width
+
+    def test_markers_present_and_positioned(self):
+        chart = AsciiChart(width=21, height=5)
+        chart.add_series("up", [(0, 0), (10, 10)], marker="*")
+        rendered = chart.render()
+        lines = rendered.splitlines()
+        # Max point in the top row, min point in the bottom grid row.
+        assert "*" in lines[0]
+        assert "*" in lines[4]
+
+    def test_overlap_marker(self):
+        chart = AsciiChart(width=11, height=3)
+        chart.add_series("a", [(5, 5)], marker="o")
+        chart.add_series("b", [(5, 5)], marker="x")
+        assert "#" in chart.render()
+
+    def test_legend_and_axes_mode(self):
+        chart = AsciiChart(loglog=True)
+        chart.add_series("quad", [(2, 4), (4, 16)], marker="*")
+        rendered = chart.render()
+        assert "[log-log]" in rendered
+        assert "* quad" in rendered
+
+    def test_degenerate_single_point(self):
+        chart = AsciiChart()
+        chart.add_series("dot", [(3, 3)], marker="*")
+        assert "*" in chart.render()  # no zero-division
+
+
+class TestScalingChart:
+    def test_round_robin_markers(self):
+        rendered = scaling_chart(
+            "demo",
+            [
+                ("s1", [(1, 1), (2, 2)]),
+                ("s2", [(1, 2), (2, 4)]),
+            ],
+        )
+        assert "* s1" in rendered and "o s2" in rendered
+        assert rendered.startswith("demo")

@@ -1,0 +1,42 @@
+"""Tests for the markdown/CSV renderers."""
+
+from repro.experiments.report import _format_cell, render_csv, render_table
+
+
+class TestFormatCell:
+    def test_floats(self):
+        assert _format_cell(1.5) == "1.5"
+        assert _format_cell(0.001234) == "0.00123"
+        assert _format_cell(123456.0) == "1.23e+05"
+        assert _format_cell(float("nan")) == "nan"
+        assert _format_cell(0.0) == "0"
+        assert _format_cell(2.0) == "2"
+
+    def test_non_floats_pass_through(self):
+        assert _format_cell("abc") == "abc"
+        assert _format_cell(7) == "7"
+
+
+class TestRenderTable:
+    def test_missing_cells_blank(self):
+        table = render_table(["a", "b"], [{"a": 1}])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[2] == "| 1 |  |"
+
+    def test_divider_width_matches(self):
+        table = render_table(["x", "y", "z"], [])
+        assert table.splitlines()[1].count("---") == 3
+
+
+class TestRenderCsv:
+    def test_round_trips_values(self):
+        csv_text = render_csv(["a", "b"], [{"a": 1, "b": "two"}, {"a": 3, "b": 4}])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,two"
+        assert lines[2] == "3,4"
+
+    def test_extra_keys_ignored(self):
+        csv_text = render_csv(["a"], [{"a": 1, "zzz": 9}])
+        assert "zzz" not in csv_text

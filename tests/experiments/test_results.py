@@ -1,0 +1,73 @@
+"""Tests for structured result persistence (--csv artifacts)."""
+
+import json
+
+from repro.experiments.cli import main
+from repro.experiments.common import ExperimentReport
+from repro.experiments.results import build_manifest, checks_rows, write_artifacts
+
+
+def make_report() -> ExperimentReport:
+    report = ExperimentReport("demo", "Demo", columns=["n", "time"])
+    report.add_row(n=8, time=1.25)
+    report.add_row(n=16, time=2.5)
+    report.add_check("shape", passed=True, measured=1.0, expected="~1")
+    report.add_check("bound", passed=False, measured=9, expected="< 5")
+    return report
+
+
+class TestChecksRows:
+    def test_flattening(self):
+        rows = checks_rows(make_report())
+        assert rows[0] == {
+            "check": "shape",
+            "passed": True,
+            "measured": "1.0",
+            "expected": "~1",
+        }
+        assert rows[1]["passed"] is False
+
+
+class TestManifest:
+    def test_fields(self):
+        manifest = build_manifest(
+            make_report(), seed=7, quick=True, elapsed_seconds=1.234
+        )
+        assert manifest["experiment_id"] == "demo"
+        assert manifest["seed"] == 7
+        assert manifest["quick"] is True
+        assert manifest["rows"] == 2
+        assert manifest["checks_passed"] == 1
+        assert manifest["checks_failed"] == 1
+        assert manifest["all_passed"] is False
+        assert "repro_version" in manifest and "python_version" in manifest
+
+
+class TestWriteArtifacts:
+    def test_writes_three_files(self, tmp_path):
+        created = write_artifacts(
+            make_report(), tmp_path, seed=1, quick=False, elapsed_seconds=0.5
+        )
+        names = sorted(p.name for p in created)
+        assert names == ["demo.checks.csv", "demo.csv", "demo.manifest.json"]
+        rows_csv = (tmp_path / "demo.csv").read_text()
+        assert rows_csv.splitlines()[0] == "n,time"
+        assert "8,1.25" in rows_csv
+        manifest = json.loads((tmp_path / "demo.manifest.json").read_text())
+        assert manifest["experiment_id"] == "demo"
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        write_artifacts(
+            make_report(), target, seed=1, quick=True, elapsed_seconds=0.1
+        )
+        assert (target / "demo.csv").exists()
+
+
+class TestCliCsvFlag:
+    def test_run_with_csv(self, tmp_path, capsys):
+        assert main(["run", "figure2", "--quick", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "figure2.csv").exists()
+        assert (tmp_path / "figure2.manifest.json").exists()
+        manifest = json.loads((tmp_path / "figure2.manifest.json").read_text())
+        assert manifest["all_passed"] is True

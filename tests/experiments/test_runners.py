@@ -1,0 +1,151 @@
+"""Tests for the experiment runners and the CLI.
+
+Heavy measurement sweeps run in the benchmarks; here each runner is
+exercised in quick mode (marked slow where that still takes seconds)
+plus unit tests of their pure helpers.
+"""
+
+import pytest
+
+from repro.core.rng import make_rng
+from repro.experiments.cli import main
+from repro.experiments.figure1 import (
+    is_parent_closed,
+    open_slots,
+    ranking_phase_configuration,
+    render_tree,
+    settled_ranks,
+)
+from repro.experiments.figure2 import run as run_figure2
+from repro.experiments.hsweep import collision_start
+from repro.experiments.registry import all_experiments, get_experiment
+from repro.experiments.theorem21 import (
+    UndersizedRuleCiw,
+    control_stays_stable,
+    time_to_leader_in_subpopulation,
+    time_to_second_leader,
+)
+from repro.protocols.optimal_silent import OptimalSilentSSR, Role
+from repro.protocols.sublinear.protocol import SublinearTimeSSR
+
+
+class TestRegistry:
+    def test_all_ids_resolve(self):
+        for experiment_id in all_experiments():
+            assert callable(get_experiment(experiment_id))
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("nope")
+
+    def test_expected_ids_present(self):
+        assert {
+            "table1",
+            "hsweep",
+            "figure1",
+            "figure2",
+            "obs22",
+            "thm21",
+            "epidemics",
+            "reset",
+            "faults",
+            "ablation",
+            "whp",
+            "loose",
+        } <= set(all_experiments())
+
+
+class TestFigure1Helpers:
+    def test_ranking_phase_configuration(self):
+        protocol = OptimalSilentSSR(12)
+        states = ranking_phase_configuration(protocol)
+        assert settled_ranks(states) == {1}
+        assert sum(1 for s in states if s.role is Role.UNSETTLED) == 11
+
+    def test_is_parent_closed(self):
+        assert is_parent_closed({1, 2, 3})
+        assert is_parent_closed({1, 3, 7})
+        assert not is_parent_closed({1, 4})  # 4's parent 2 missing
+        assert not is_parent_closed({2})  # root missing
+
+    def test_open_slots_of_snapshot(self):
+        protocol = OptimalSilentSSR(6)
+        states = ranking_phase_configuration(protocol)
+        assert open_slots(protocol, states) == {2, 3}
+
+    def test_render_tree_marks_settled(self):
+        text = render_tree(6, settled={1, 2})
+        assert "[1]" in text and "[2]" in text and "(3)" in text
+
+
+class TestFigure2:
+    def test_full_figure_reproduces(self):
+        report = run_figure2()
+        assert report.all_passed
+        assert len(report.rows) == 8  # 4 agents x 2 panels
+
+
+class TestTheorem21Components:
+    def test_undersized_rule_wraps_mod_modulus(self, rng):
+        protocol = UndersizedRuleCiw(modulus=4, n=6)
+        assert protocol.transition(3, 3, rng) == (3, 0)
+        assert protocol.state_count() == 4
+
+    def test_undersized_rule_validation(self):
+        with pytest.raises(ValueError):
+            UndersizedRuleCiw(modulus=8, n=4)
+
+    def test_second_leader_appears(self):
+        assert time_to_second_leader(6, 9, seed=1, trial=0) > 0
+
+    def test_subpopulation_manufactures_leader(self):
+        assert time_to_leader_in_subpopulation(6, 9, seed=1, trial=0) > 0
+
+    def test_control_is_stable(self):
+        assert control_stays_stable(8, seed=1, horizon_time=100.0)
+
+
+class TestHsweepHelpers:
+    def test_collision_start_has_exactly_one_duplicate(self):
+        protocol = SublinearTimeSSR(8, h=1)
+        states = collision_start(protocol, make_rng(1, "cs"))
+        names = [s.name for s in states]
+        assert len(set(names)) == 7
+        assert names[0] == names[1]
+
+
+@pytest.mark.slow
+class TestRunnersQuickMode:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        ["obs22", "thm21", "epidemics", "reset", "faults", "ablation", "whp", "loose"],
+    )
+    def test_quick_runs_pass_checks(self, experiment_id):
+        report = get_experiment(experiment_id)(seed=99, quick=True)
+        failed = [name for name, c in report.checks.items() if not c.passed]
+        assert not failed, failed
+
+    def test_figure1_quick(self):
+        report = get_experiment("figure1")(seed=99, quick=True)
+        assert report.all_passed
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "figure2" in out
+
+    def test_run_figure2(self, capsys):
+        assert main(["run", "figure2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["run", "figure2", "--quick", "-o", str(target)]) == 0
+        assert "Figure 2" in target.read_text()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "definitely-not-real"])

@@ -1,0 +1,108 @@
+"""Tests for Protocol 8 (Check-Path-Consistency)."""
+
+import pytest
+
+from repro.protocols.sublinear.consistency import (
+    CONSISTENT,
+    INCONSISTENT,
+    check_path_consistency,
+)
+from repro.protocols.sublinear.history_tree import HistoryTree, TreeEdge
+
+
+def leaf(name):
+    return HistoryTree.singleton(name)
+
+
+def chain(*names_and_syncs) -> HistoryTree:
+    names = names_and_syncs[::2]
+    syncs = names_and_syncs[1::2]
+    node = leaf(names[-1])
+    for name, sync in zip(reversed(names[:-1]), reversed(syncs)):
+        parent = leaf(name)
+        parent.graft(node, sync=sync, expires=100)
+        node = parent
+    return node
+
+
+def path_of(tree: HistoryTree, target: str):
+    (path,) = tree.paths_to_name(target, clock=0)
+    return path
+
+
+class TestValidation:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            check_path_consistency(leaf("a"), [], "i")
+
+    def test_wrong_verifier_rejected(self):
+        d_tree = chain("d", 3, "a")
+        with pytest.raises(ValueError):
+            check_path_consistency(leaf("z"), path_of(d_tree, "a"), "d")
+
+
+class TestFigure2Scenarios:
+    def test_left_panel_match_at_first_compared_edge(self):
+        # d: d -3-> c -2-> b -1-> a; a: a -1-> b.
+        d_tree = chain("d", 3, "c", 2, "b", 1, "a")
+        a_tree = chain("a", 1, "b")
+        verdict = check_path_consistency(a_tree, path_of(d_tree, "a"), "d")
+        assert verdict is CONSISTENT
+
+    def test_right_panel_match_at_second_compared_edge(self):
+        # a overwrote the a-b sync (7), but learned b's b-c record (2).
+        d_tree = chain("d", 3, "c", 2, "b", 1, "a")
+        a_tree = chain("a", 7, "b", 2, "c")
+        verdict = check_path_consistency(a_tree, path_of(d_tree, "a"), "d")
+        assert verdict is CONSISTENT
+
+    def test_impostor_with_empty_tree_is_inconsistent(self):
+        d_tree = chain("d", 3, "c", 2, "b", 1, "a")
+        verdict = check_path_consistency(leaf("a"), path_of(d_tree, "a"), "d")
+        assert verdict is INCONSISTENT
+
+    def test_impostor_with_wrong_syncs_is_inconsistent(self):
+        d_tree = chain("d", 3, "c", 2, "b", 1, "a")
+        impostor = chain("a", 9, "b", 8, "c")  # no sync matches
+        verdict = check_path_consistency(impostor, path_of(d_tree, "a"), "d")
+        assert verdict is INCONSISTENT
+
+
+class TestWalkSemantics:
+    def test_walk_stops_at_longest_existing_suffix(self):
+        # Verifier only knows one reversed step; it matches -> consistent.
+        i_tree = chain("i", 5, "b", 4, "j")
+        j_tree = chain("j", 4, "b")
+        assert check_path_consistency(j_tree, path_of(i_tree, "j"), "i") is CONSISTENT
+
+    def test_deep_match_beyond_mismatches(self):
+        i_tree = chain("i", 1, "x", 2, "y", 3, "j")
+        # Verifier's syncs differ at every level except the deepest.
+        j_tree = chain("j", 9, "y", 8, "x", 1, "i")
+        assert check_path_consistency(j_tree, path_of(i_tree, "j"), "i") is CONSISTENT
+
+    def test_match_must_be_at_corresponding_position(self):
+        # The sync value 3 appears in the verifier's tree but at the wrong
+        # position of the reversed walk, so it must NOT count.
+        i_tree = chain("i", 9, "b", 3, "j")
+        j_tree = chain("j", 9, "b")  # j-b sync is 9, not 3
+        assert (
+            check_path_consistency(j_tree, path_of(i_tree, "j"), "i") is INCONSISTENT
+        )
+
+    def test_branchy_verifier_any_matching_branch_counts(self):
+        # Adversarial verifier tree with two children named b: one branch
+        # matches, so the check passes.
+        i_tree = chain("i", 5, "b", 4, "j")
+        j_tree = leaf("j")
+        j_tree.graft(leaf("b"), sync=1, expires=100)
+        j_tree.graft(leaf("b"), sync=4, expires=100)
+        assert check_path_consistency(j_tree, path_of(i_tree, "j"), "i") is CONSISTENT
+
+    def test_verifier_edges_may_be_expired(self):
+        # Only the accuser's path needs live timers; the verifier's own
+        # record still certifies consistency even when stale.
+        i_tree = chain("i", 4, "j")
+        j_tree = leaf("j")
+        j_tree.graft(leaf("i"), sync=4, expires=0)  # long expired
+        assert check_path_consistency(j_tree, path_of(i_tree, "j"), "i") is CONSISTENT

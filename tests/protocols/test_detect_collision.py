@@ -1,0 +1,161 @@
+"""Tests for Protocol 7 (Detect-Name-Collision)."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.rng import make_rng
+from repro.protocols.parameters import calibrated_sublinear
+from repro.protocols.sublinear.detect_collision import (
+    detect_name_collision,
+    find_collision,
+    merge_histories,
+)
+from repro.protocols.sublinear.history_tree import HistoryTree
+
+
+@dataclass
+class Agent:
+    name: str
+    tree: HistoryTree = field(default_factory=lambda: HistoryTree.singleton(""))
+    clock: int = 0
+
+    def __post_init__(self):
+        if not self.tree.name:
+            self.tree = HistoryTree.singleton(self.name)
+
+
+PARAMS = calibrated_sublinear(8, h=3)
+
+
+def meet(a: Agent, b: Agent, sync=None):
+    assert not find_collision(a, b)
+    merge_histories(a, b, PARAMS, make_rng(0, "meet"), sync=sync)
+
+
+class TestDirectDetection:
+    def test_equal_names_collide(self):
+        assert find_collision(Agent("x"), Agent("x"))
+
+    def test_fresh_distinct_names_do_not(self):
+        assert not find_collision(Agent("x"), Agent("y"))
+
+
+class TestMergeMechanics:
+    def test_both_sides_record_the_same_sync(self):
+        a, b = Agent("a"), Agent("b")
+        meet(a, b, sync=42)
+        assert a.tree.find_child("b").sync == 42
+        assert b.tree.find_child("a").sync == 42
+
+    def test_remeeting_replaces_the_record(self):
+        a, b = Agent("a"), Agent("b")
+        meet(a, b, sync=1)
+        meet(a, b, sync=7)
+        assert a.tree.find_child("b").sync == 7
+        assert len(a.tree.edges) == 1  # replaced, not duplicated
+
+    def test_clocks_advance(self):
+        a, b = Agent("a"), Agent("b")
+        meet(a, b)
+        assert a.clock == 1 and b.clock == 1
+
+    def test_graft_uses_pre_interaction_trees(self):
+        # After a-b, both have depth-1 info; when they re-meet, neither
+        # tree may contain the fresh sync below depth 1 (that would mean
+        # post-interaction state leaked into the snapshot).
+        a, b = Agent("a"), Agent("b")
+        meet(a, b, sync=1)
+        c = Agent("c")
+        meet(b, c, sync=2)
+        meet(a, b, sync=7)
+        # a's view of b is b's tree *before* sync 7 existed: b -> {a?, c}.
+        b_record = a.tree.find_child("b").child
+        assert b_record.find_child("c").sync == 2
+        # a's own name was pruned from the grafted subtree.
+        assert b_record.find_child("a") is None
+
+    def test_own_name_never_below_root(self):
+        agents = [Agent(name) for name in "abcd"]
+        rng = make_rng(1, "soup")
+        for _ in range(60):
+            i, j = rng.sample(range(4), 2)
+            if not find_collision(agents[i], agents[j]):
+                merge_histories(agents[i], agents[j], PARAMS, rng)
+        for agent in agents:
+            assert not agent.tree.contains_name(agent.name)
+
+    def test_trees_stay_simply_labelled_and_bounded(self):
+        agents = [Agent(name) for name in "abcdef"]
+        rng = make_rng(2, "soup")
+        for _ in range(150):
+            i, j = rng.sample(range(6), 2)
+            if not find_collision(agents[i], agents[j]):
+                merge_histories(agents[i], agents[j], PARAMS, rng)
+        for agent in agents:
+            assert agent.tree.is_simply_labelled()
+            assert agent.tree.depth() <= PARAMS.h
+
+    def test_h_zero_keeps_trees_trivial(self):
+        params0 = calibrated_sublinear(8, h=0)
+        a, b = Agent("a"), Agent("b")
+        merge_histories(a, b, params0, make_rng(0, "h0"))
+        assert a.tree.size() == 1
+        assert b.tree.size() == 1
+
+
+class TestIndirectDetection:
+    def test_witness_catches_duplicate(self):
+        """b meets a, then a' (same name as a): collision via the path."""
+        a, dup = Agent("x"), Agent("x")
+        b = Agent("b")
+        meet(b, a, sync=5)
+        # b now holds b -> x(sync 5); dup has no record of b.
+        assert find_collision(b, dup)
+
+    def test_witness_does_not_accuse_the_original(self):
+        a = Agent("x")
+        b = Agent("b")
+        meet(b, a, sync=5)
+        assert not find_collision(b, a)
+
+    def test_two_hop_witness_chain(self):
+        """H >= 2: c hears about x through b, then meets the duplicate."""
+        a, dup = Agent("x"), Agent("x")
+        b, c = Agent("b"), Agent("c")
+        meet(a, b, sync=5)
+        meet(b, c, sync=6)  # c: c -> b -> x
+        assert c.tree.paths_to_name("x", c.clock)
+        assert find_collision(c, dup)
+        assert not find_collision(c, a)
+
+    def test_honest_population_never_accuses(self):
+        agents = [Agent(name) for name in "abcdefgh"]
+        rng = make_rng(3, "honest")
+        for _ in range(400):
+            i, j = rng.sample(range(8), 2)
+            assert not find_collision(agents[i], agents[j]), (i, j)
+            merge_histories(agents[i], agents[j], PARAMS, rng)
+
+    def test_expired_paths_do_not_accuse(self):
+        """Stale accusations are gated by the edge timers."""
+        a, dup = Agent("x"), Agent("x")
+        b = Agent("b")
+        meet(b, a, sync=5)
+        b.clock += PARAMS.t_h  # age b far beyond T_H
+        assert not find_collision(b, dup)
+
+
+class TestDetectNameCollision:
+    def test_collision_skips_merge(self):
+        a, dup, b = Agent("x"), Agent("x"), Agent("b")
+        meet(b, a, sync=5)
+        clock_before = b.clock
+        assert detect_name_collision(b, dup, PARAMS, make_rng(0, "d"))
+        assert b.clock == clock_before  # no merge side effects
+        assert dup.tree.size() == 1
+
+    def test_clean_pair_merges(self):
+        a, b = Agent("a"), Agent("b")
+        assert not detect_name_collision(a, b, PARAMS, make_rng(0, "d"))
+        assert a.tree.find_child("b") is not None

@@ -1,0 +1,230 @@
+"""Tests for the history-tree data structure (Section 5.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.sublinear.history_tree import HistoryTree, TreeEdge, path_names
+
+
+def leaf(name: str) -> HistoryTree:
+    return HistoryTree.singleton(name)
+
+
+def edge(sync: int, child: HistoryTree, expires: int = 100) -> TreeEdge:
+    return TreeEdge(sync=sync, expires=expires, child=child)
+
+
+def chain(*names_and_syncs) -> HistoryTree:
+    """chain("a", 1, "b", 2, "c") -> a -1-> b -2-> c."""
+    names = names_and_syncs[::2]
+    syncs = names_and_syncs[1::2]
+    node = leaf(names[-1])
+    for name, sync in zip(reversed(names[:-1]), reversed(syncs)):
+        parent = leaf(name)
+        parent.graft(node, sync=sync, expires=100)
+        node = parent
+    return node
+
+
+class TestBasics:
+    def test_singleton(self):
+        tree = leaf("a")
+        assert tree.depth() == 0
+        assert tree.size() == 1
+        assert tree.edges == []
+
+    def test_depth_and_size(self):
+        tree = chain("a", 1, "b", 2, "c")
+        tree.graft(leaf("d"), sync=3, expires=100)
+        assert tree.depth() == 2
+        assert tree.size() == 4
+
+    def test_find_child(self):
+        tree = chain("a", 1, "b")
+        assert tree.find_child("b").sync == 1
+        assert tree.find_child("z") is None
+
+    def test_iter_edges_counts(self):
+        tree = chain("a", 1, "b", 2, "c")
+        assert len(list(tree.iter_edges())) == 2
+
+
+class TestCopy:
+    def test_truncation_to_depth(self):
+        tree = chain("a", 1, "b", 2, "c", 3, "d")
+        copy = tree.copy(2)
+        assert copy.depth() == 2
+        assert copy.find_child("b").child.find_child("c").child.edges == []
+
+    def test_depth_zero_copy_is_root_only(self):
+        tree = chain("a", 1, "b")
+        assert tree.copy(0).size() == 1
+
+    def test_copy_is_deep(self):
+        tree = chain("a", 1, "b")
+        copy = tree.copy(5)
+        copy.find_child("b").sync = 999
+        assert tree.find_child("b").sync == 1
+
+    def test_clock_shift_translates_expiries(self):
+        tree = chain("a", 1, "b")
+        tree.find_child("b").expires = 30
+        copy = tree.copy(1, clock_shift=-10)
+        assert copy.find_child("b").expires == 20
+        # Remaining lifetime is preserved across owners' clocks:
+        # source owner at clock 25 -> remaining 5; recipient at 15 -> 5.
+        assert tree.find_child("b").remaining(25) == copy.find_child("b").remaining(15)
+
+    def test_exclude_name_prunes_subtrees(self):
+        tree = leaf("a")
+        tree.graft(chain("b", 2, "x"), sync=1, expires=100)
+        tree.graft(leaf("x"), sync=3, expires=100)
+        copy = tree.copy(3, exclude_name="x")
+        assert copy.find_child("x") is None
+        assert copy.find_child("b").child.edges == []  # b's x-child gone
+
+
+class TestMutation:
+    def test_remove_child(self):
+        tree = leaf("a")
+        tree.graft(leaf("b"), sync=1, expires=100)
+        tree.graft(leaf("c"), sync=2, expires=100)
+        tree.remove_child("b")
+        assert tree.find_child("b") is None
+        assert tree.find_child("c") is not None
+
+    def test_remove_named_subtrees_any_depth(self):
+        tree = leaf("a")
+        tree.graft(chain("b", 2, "a"), sync=1, expires=100)  # a below b
+        tree.remove_named_subtrees("a")
+        assert tree.find_child("b") is not None
+        assert tree.find_child("b").child.edges == []
+        assert tree.name == "a"  # root untouched
+
+    def test_graft_appends(self):
+        tree = leaf("a")
+        tree.graft(leaf("b"), sync=7, expires=42)
+        assert tree.edges[0].sync == 7
+        assert tree.edges[0].expires == 42
+
+
+class TestPathsToName:
+    def test_finds_all_paths(self):
+        tree = leaf("a")
+        tree.graft(chain("b", 5, "x"), sync=1, expires=100)
+        tree.graft(chain("c", 6, "x"), sync=2, expires=100)
+        paths = list(tree.paths_to_name("x", clock=0))
+        assert sorted([e.sync for e in p] for p in paths) == [[1, 5], [2, 6]]
+
+    def test_intermediate_nodes_match_too(self):
+        tree = chain("a", 1, "b", 2, "c")
+        paths = list(tree.paths_to_name("b", clock=0))
+        assert [[e.sync for e in p] for p in paths] == [[1]]
+
+    def test_root_never_matches(self):
+        tree = chain("a", 1, "b")
+        assert list(tree.paths_to_name("a", clock=0)) == []
+
+    def test_dead_edge_kills_descendant_paths(self):
+        tree = leaf("a")
+        tree.graft(chain("b", 5, "x"), sync=1, expires=10)
+        assert list(tree.paths_to_name("x", clock=5))  # alive at clock 5
+        assert not list(tree.paths_to_name("x", clock=10))  # top edge expired
+
+    def test_dead_deep_edge_also_kills(self):
+        tree = leaf("a")
+        sub = leaf("b")
+        sub.graft(leaf("x"), sync=5, expires=3)
+        tree.graft(sub, sync=1, expires=100)
+        assert not list(tree.paths_to_name("x", clock=3))
+        assert list(tree.paths_to_name("b", clock=3))  # shorter path alive
+
+    def test_path_names_helper(self):
+        tree = chain("a", 1, "b", 2, "c")
+        (path,) = tree.paths_to_name("c", clock=0)
+        assert path_names(path, "a") == ["a", "b", "c"]
+
+
+class TestInvariants:
+    def test_simply_labelled_true(self):
+        tree = leaf("a")
+        tree.graft(chain("b", 1, "c"), sync=1, expires=100)
+        tree.graft(chain("c", 1, "b"), sync=2, expires=100)  # incomparable dup ok
+        assert tree.is_simply_labelled()
+
+    def test_simply_labelled_false_on_path_repeat(self):
+        tree = chain("a", 1, "b", 2, "a")
+        assert not tree.is_simply_labelled()
+
+    def test_contains_name(self):
+        tree = chain("a", 1, "b", 2, "c")
+        assert tree.contains_name("c")
+        assert not tree.contains_name("a")  # below root only by default
+        assert tree.contains_name("a", below_root=False)
+
+    def test_canonical_order_insensitive(self):
+        t1 = leaf("a")
+        t1.graft(leaf("b"), sync=1, expires=100)
+        t1.graft(leaf("c"), sync=2, expires=100)
+        t2 = leaf("a")
+        t2.graft(leaf("c"), sync=2, expires=100)
+        t2.graft(leaf("b"), sync=1, expires=100)
+        assert t1.canonical(0) == t2.canonical(0)
+
+    def test_canonical_uses_remaining_not_absolute(self):
+        t1 = leaf("a")
+        t1.graft(leaf("b"), sync=1, expires=30)
+        t2 = leaf("a")
+        t2.graft(leaf("b"), sync=1, expires=20)
+        assert t1.canonical(clock=20) == t2.canonical(clock=10)
+        assert t1.canonical(clock=0) != t2.canonical(clock=0)
+
+
+class TestRender:
+    def test_render_mentions_all_nodes_and_syncs(self):
+        tree = chain("a", 7, "b", 2, "c")
+        rendered = tree.render()
+        for token in ("a", "b", "c", "sync=7", "sync=2"):
+            assert token in rendered
+
+
+@st.composite
+def random_trees(draw, depth=3):
+    name = draw(st.sampled_from("abcdefgh"))
+    node = HistoryTree.singleton(name)
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 2))):
+            child = draw(random_trees(depth=depth - 1))
+            node.graft(
+                child,
+                sync=draw(st.integers(1, 50)),
+                expires=draw(st.integers(0, 20)),
+            )
+    return node
+
+
+class TestProperties:
+    @given(tree=random_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_copy_preserves_canonical(self, tree):
+        assert tree.copy(10).canonical(0) == tree.canonical(0)
+
+    @given(tree=random_trees(), name=st.sampled_from("abcdefgh"))
+    @settings(max_examples=60, deadline=None)
+    def test_remove_named_subtrees_removes_all(self, tree, name):
+        tree.remove_named_subtrees(name)
+        assert not tree.contains_name(name)
+
+    @given(tree=random_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_size_consistent_with_edge_count(self, tree):
+        assert tree.size() == 1 + len(list(tree.iter_edges()))
+
+    @given(tree=random_trees(), clock=st.integers(0, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_paths_all_live_and_end_at_target(self, tree, clock):
+        for target in "abcdefgh":
+            for path in tree.paths_to_name(target, clock):
+                assert path[-1].child.name == target
+                assert all(e.expires > clock for e in path)

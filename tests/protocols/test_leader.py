@@ -1,0 +1,103 @@
+"""Tests for leader election derived from ranking (footnote 7)."""
+
+import random
+from typing import Optional, Tuple
+
+from repro.protocols.base import RankingProtocol
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+from repro.protocols.leader import (
+    ImmobilizedLeaderProtocol,
+    count_leaders,
+    has_unique_leader,
+    leader_flags,
+)
+
+
+class TestLeaderPredicates:
+    def test_flags_and_count(self):
+        protocol = SilentNStateSSR(4)
+        states = [0, 1, 2, 3]  # rank_of(0) == 1: agent 0 leads
+        assert leader_flags(protocol, states) == [True, False, False, False]
+        assert count_leaders(protocol, states) == 1
+        assert has_unique_leader(protocol, states)
+
+    def test_multiple_leaders_detected(self):
+        protocol = SilentNStateSSR(4)
+        assert count_leaders(protocol, [0, 0, 1, 2]) == 2
+        assert not has_unique_leader(protocol, [0, 0, 1, 2])
+
+
+class HotPotatoProtocol(RankingProtocol[int]):
+    """Toy protocol whose leader bit hops to the responder every meeting.
+
+    State n-1 encodes "leader" (rank 1); everyone else holds rank None.
+    Used to exercise the immobilization transform.
+    """
+
+    def transition(self, initiator: int, responder: int, rng) -> Tuple[int, int]:
+        if initiator == 1 and responder == 0:
+            return 0, 1  # leadership hops initiator -> responder
+        return initiator, responder
+
+    def initial_state(self, rng) -> int:
+        return 0
+
+    def random_state(self, rng) -> int:
+        return rng.randrange(2)
+
+    def rank_of(self, state: int) -> Optional[int]:
+        return 1 if state == 1 else None
+
+    def summarize(self, state: int):
+        return state
+
+
+class TestImmobilizedLeaderProtocol:
+    def test_wrapper_pins_the_leader(self):
+        rng = random.Random(1)
+        inner = HotPotatoProtocol(3)
+        wrapped = ImmobilizedLeaderProtocol(inner)
+        # Inner protocol: leader hops from initiator to responder.
+        assert inner.transition(1, 0, rng) == (0, 1)
+        # Wrapped: states are swapped back, so agent 0 keeps leading.
+        assert wrapped.transition(1, 0, rng) == (1, 0)
+
+    def test_non_transfer_interactions_untouched(self):
+        rng = random.Random(1)
+        wrapped = ImmobilizedLeaderProtocol(HotPotatoProtocol(3))
+        assert wrapped.transition(0, 0, rng) == (0, 0)
+        assert wrapped.transition(0, 1, rng) == (0, 1)
+
+    def test_leader_never_moves_over_a_run(self):
+        rng = random.Random(7)
+        wrapped = ImmobilizedLeaderProtocol(HotPotatoProtocol(5))
+        states = [1, 0, 0, 0, 0]
+        for _ in range(500):
+            i = rng.randrange(5)
+            j = (i + 1 + rng.randrange(4)) % 5
+            states[i], states[j] = wrapped.transition(states[i], states[j], rng)
+        assert states[0] == 1
+        assert count_leaders(wrapped, states) == 1
+
+    def test_delegation(self, rng):
+        inner = SilentNStateSSR(4)
+        wrapped = ImmobilizedLeaderProtocol(inner)
+        assert wrapped.n == 4
+        assert wrapped.silent
+        assert wrapped.state_count() == 4
+        assert wrapped.rank_of(2) == 3
+        assert wrapped.is_pair_null(1, 2)
+        assert wrapped.describe(0) == inner.describe(0)
+        assert wrapped.initial_state(rng) == 0
+
+    def test_wrapped_result_is_permutation_of_inner_result(self, rng):
+        """Immobilization only ever swaps the two post-states."""
+        inner = SilentNStateSSR(5)
+        wrapped = ImmobilizedLeaderProtocol(inner)
+        states = [0, 0, 1, 2, 3]
+        for _ in range(300):
+            i = rng.randrange(5)
+            j = (i + 1 + rng.randrange(4)) % 5
+            plain = sorted(inner.transition(states[i], states[j], rng))
+            states[i], states[j] = wrapped.transition(states[i], states[j], rng)
+            assert sorted([states[i], states[j]]) == plain

@@ -1,0 +1,189 @@
+"""Tests for Protocol 2 (Propagate-Reset)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng import make_rng
+from repro.core.scheduler import ScriptedScheduler
+from repro.core.simulation import Simulation
+from repro.protocols.parameters import ResetParameters
+from repro.protocols.propagate_reset import (
+    ResetTimingProtocol,
+    TimingAgent,
+    TimingRole,
+    propagate_reset_interaction,
+)
+
+PARAMS = ResetParameters(r_max=5, d_max=10)
+
+
+def computing() -> TimingAgent:
+    return TimingAgent(role=TimingRole.COMPUTING)
+
+
+def resetting(resetcount: int, delaytimer: int = 0) -> TimingAgent:
+    return TimingAgent(
+        role=TimingRole.RESETTING, resetcount=resetcount, delaytimer=delaytimer
+    )
+
+
+def interact(a: TimingAgent, b: TimingAgent, params: ResetParameters = PARAMS):
+    protocol = ResetTimingProtocol(10, params)
+    propagate_reset_interaction(a, b, params, protocol.hooks, make_rng(1, "t"))
+    return a, b
+
+
+class TestRecruitment:
+    def test_propagating_recruits_computing_partner(self):
+        a, b = interact(resetting(5), computing())
+        assert b.role is TimingRole.RESETTING
+        # Lines 4-5: the recruit inherits resetcount - 1.
+        assert a.resetcount == b.resetcount == 4
+
+    def test_recruitment_is_symmetric(self):
+        a, b = interact(computing(), resetting(5))
+        assert a.role is TimingRole.RESETTING
+        assert a.resetcount == b.resetcount == 4
+
+    def test_dormant_does_not_recruit(self):
+        a, b = interact(resetting(0, delaytimer=7), computing())
+        assert b.role is TimingRole.COMPUTING
+        # Instead the dormant agent awakens by epidemic (line 11).
+        assert a.role is TimingRole.COMPUTING
+        assert a.generation == 1
+
+    def test_requires_a_resetting_agent(self):
+        with pytest.raises(ValueError):
+            interact(computing(), computing())
+
+
+class TestCountMerging:
+    def test_two_propagating_take_max_minus_one(self):
+        a, b = interact(resetting(5), resetting(2))
+        assert a.resetcount == b.resetcount == 4
+
+    def test_counts_never_go_negative(self):
+        a, b = interact(resetting(1), resetting(1))
+        assert a.resetcount == b.resetcount == 0
+
+    def test_propagating_pulls_dormant_back(self):
+        # A dormant agent meeting a propagating one rejoins the wave.
+        a, b = interact(resetting(5), resetting(0, delaytimer=3))
+        assert a.resetcount == b.resetcount == 4
+        assert b.role is TimingRole.RESETTING
+
+
+class TestDormancy:
+    def test_fresh_dormant_gets_full_delay(self):
+        a, b = interact(resetting(1), resetting(1))
+        # Both just became dormant: delaytimer initialized to D_max.
+        assert a.delaytimer == PARAMS.d_max
+        assert b.delaytimer == PARAMS.d_max
+
+    def test_dormant_pair_ticks_down(self):
+        a, b = interact(resetting(0, delaytimer=5), resetting(0, delaytimer=9))
+        assert a.delaytimer == 4
+        assert b.delaytimer == 8
+        assert a.role is b.role is TimingRole.RESETTING
+
+    def test_timer_expiry_awakens(self):
+        a, b = interact(resetting(0, delaytimer=1), resetting(0, delaytimer=9))
+        assert a.role is TimingRole.COMPUTING
+        assert a.generation == 1
+        # Sequential evaluation of line 11: once a computes, b's "partner
+        # is not Resetting" condition fires in the same interaction.
+        assert b.role is TimingRole.COMPUTING
+        assert b.generation == 1
+
+    def test_awakening_spreads_by_epidemic(self):
+        # Once one agent computes, a dormant partner wakes regardless of
+        # its remaining delay (sequential evaluation of line 11).
+        a, b = interact(resetting(0, delaytimer=1), resetting(0, delaytimer=500))
+        assert a.role is TimingRole.COMPUTING
+        assert b.role is TimingRole.COMPUTING
+        assert b.generation == 1
+
+    def test_recruit_by_trigger_starts_propagating_not_dormant(self):
+        a, b = interact(resetting(PARAMS.r_max), computing())
+        assert b.resetcount == PARAMS.r_max - 1
+        assert b.role is TimingRole.RESETTING
+
+
+class TestFullWave:
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_wave_resets_every_agent(self, n):
+        params = ResetParameters(r_max=40, d_max=100)
+        protocol = ResetTimingProtocol(n, params)
+        rng = make_rng(3, "wave", n)
+        states = [protocol.triggered_state()] + [
+            protocol.initial_state(rng) for _ in range(n - 1)
+        ]
+        sim = Simulation(protocol, states, rng=rng)
+        budget = 2000 * n
+        while not protocol.is_correct(sim.states):
+            assert sim.interactions < budget
+            sim.step()
+        # With generous R_max every agent reset exactly once.
+        assert [s.generation for s in sim.states] == [1] * n
+
+    def test_no_trigger_no_activity(self, rng):
+        protocol = ResetTimingProtocol(5, PARAMS)
+        states = [protocol.initial_state(rng) for _ in range(5)]
+        sim = Simulation(protocol, states, rng=rng)
+        sim.run(200)
+        assert all(s.generation == 0 for s in sim.states)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_wave_terminates_from_random_resetting_soup(self, seed):
+        """From arbitrary mixed states, everyone eventually computes."""
+        n = 8
+        protocol = ResetTimingProtocol(n, PARAMS)
+        rng = make_rng(seed, "soup")
+        states = [protocol.random_state(rng) for _ in range(n)]
+        sim = Simulation(protocol, states, rng=rng)
+        for _ in range(40_000):
+            if all(s.role is TimingRole.COMPUTING for s in sim.states):
+                break
+            sim.step()
+        assert all(s.role is TimingRole.COMPUTING for s in sim.states)
+
+    def test_resetcount_and_delay_stay_in_domain(self):
+        n = 6
+        protocol = ResetTimingProtocol(n, PARAMS)
+        rng = make_rng(9, "domain")
+        states = [protocol.random_state(rng) for _ in range(n)]
+        sim = Simulation(protocol, states, rng=rng)
+        for _ in range(5000):
+            sim.step()
+            for s in sim.states:
+                assert 0 <= s.resetcount <= PARAMS.r_max
+                assert 0 <= s.delaytimer <= PARAMS.d_max
+
+
+class TestScriptedWave:
+    def test_exact_three_agent_lifecycle(self):
+        """Walk one wave through by hand: trigger -> spread -> dormant -> wake."""
+        params = ResetParameters(r_max=2, d_max=2)
+        protocol = ResetTimingProtocol(3, params)
+        rng = make_rng(4, "scripted")
+        states = [
+            TimingAgent(role=TimingRole.RESETTING, resetcount=2),
+            computing(),
+            computing(),
+        ]
+        script = [
+            (0, 1),  # 0 recruits 1: both rc=1
+            (1, 2),  # 1 recruits 2: both rc=0 -> dormant, delay=2
+            (0, 1),  # 0 (rc=1) meets dormant 1 -> both rc=0 dormant
+            (1, 2),  # both dormant: delays 2->1, 1->... per agent
+            (1, 2),
+            (1, 2),  # delays expire -> Reset, then epidemic wake
+            (0, 1),
+            (0, 2),
+        ]
+        sim = Simulation(protocol, states, rng=rng, scheduler=ScriptedScheduler(script))
+        sim.run(len(script))
+        assert all(s.role is TimingRole.COMPUTING for s in sim.states)
+        assert all(s.generation == 1 for s in sim.states)

@@ -1,0 +1,108 @@
+"""Property-based fuzzing of Propagate-Reset's pair semantics.
+
+Hypothesis drives single interactions between arbitrary (adversarial)
+agent pairs and checks the postconditions that the paper's analysis
+leans on.  Complements the example-based tests in
+``test_propagate_reset.py``.
+"""
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng import make_rng
+from repro.protocols.parameters import ResetParameters
+from repro.protocols.propagate_reset import (
+    ResetTimingProtocol,
+    TimingAgent,
+    TimingRole,
+    propagate_reset_interaction,
+)
+
+PARAMS = ResetParameters(r_max=7, d_max=12)
+
+
+@st.composite
+def agents(draw):
+    """Any state in the protocol's declared space (computing or resetting)."""
+    if draw(st.booleans()):
+        return TimingAgent(role=TimingRole.COMPUTING, generation=draw(st.integers(0, 3)))
+    resetcount = draw(st.integers(0, PARAMS.r_max))
+    delaytimer = draw(st.integers(0, PARAMS.d_max)) if resetcount == 0 else 0
+    return TimingAgent(
+        role=TimingRole.RESETTING,
+        resetcount=resetcount,
+        delaytimer=delaytimer,
+        generation=draw(st.integers(0, 3)),
+    )
+
+
+def interact(a: TimingAgent, b: TimingAgent):
+    protocol = ResetTimingProtocol(10, PARAMS)
+    propagate_reset_interaction(a, b, PARAMS, protocol.hooks, make_rng(0, "prop"))
+    return a, b
+
+
+@given(a=agents(), b=agents())
+@settings(max_examples=300, deadline=None)
+def test_postconditions(a, b):
+    pre_a, pre_b = copy.deepcopy(a), copy.deepcopy(b)
+    if (
+        pre_a.role is TimingRole.COMPUTING
+        and pre_b.role is TimingRole.COMPUTING
+    ):
+        return  # precondition of the subprotocol: skip
+
+    interact(a, b)
+
+    for agent, pre in ((a, pre_a), (b, pre_b)):
+        # Domains always respected.
+        assert 0 <= agent.resetcount <= PARAMS.r_max
+        assert 0 <= agent.delaytimer <= PARAMS.d_max
+        # Field hygiene: non-resetting agents carry no reset fields, and
+        # propagating agents carry no delay timer.
+        if agent.role is TimingRole.COMPUTING:
+            assert agent.resetcount == 0 and agent.delaytimer == 0
+        if agent.role is TimingRole.RESETTING and agent.resetcount > 0:
+            assert agent.delaytimer == 0
+        # Generations only move forward, by at most one per interaction.
+        assert agent.generation in (pre.generation, pre.generation + 1)
+        # A reset happened iff the agent returned to computing from
+        # resetting (never spontaneously).
+        if agent.generation == pre.generation + 1:
+            assert pre.role is TimingRole.RESETTING or (
+                # ...or it was recruited and reset in the same interaction
+                # (possible when the partner resets first: awaken-by-epidemic).
+                pre.role is TimingRole.COMPUTING
+            )
+
+    # Count merging: if both were resetting with some propagation, the
+    # resulting counts are equal and strictly below the prior maximum.
+    if (
+        pre_a.role is TimingRole.RESETTING
+        and pre_b.role is TimingRole.RESETTING
+        and max(pre_a.resetcount, pre_b.resetcount) > 0
+    ):
+        merged = max(pre_a.resetcount, pre_b.resetcount) - 1
+        for agent in (a, b):
+            if agent.role is TimingRole.RESETTING:
+                assert agent.resetcount == merged
+
+    # A triggered-strength count never appears out of thin air: the
+    # subprotocol itself only ever decreases counts.
+    assert max(a.resetcount, b.resetcount) <= max(
+        pre_a.resetcount, pre_b.resetcount
+    )
+
+
+@given(a=agents(), b=agents())
+@settings(max_examples=200, deadline=None)
+def test_interaction_is_deterministic(a, b):
+    if a.role is TimingRole.COMPUTING and b.role is TimingRole.COMPUTING:
+        return
+    a1, b1 = copy.deepcopy(a), copy.deepcopy(b)
+    a2, b2 = copy.deepcopy(a), copy.deepcopy(b)
+    interact(a1, b1)
+    interact(a2, b2)
+    assert (a1, b1) == (a2, b2)

@@ -1,0 +1,92 @@
+"""Tests for repro.protocols.sublinear.names."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng import make_rng
+from repro.protocols.sublinear.names import (
+    EMPTY_NAME,
+    append_random_bit,
+    fresh_unique_names,
+    is_valid_name,
+    random_name,
+    rank_in_roster,
+)
+
+
+class TestRandomName:
+    def test_length_and_alphabet(self, rng):
+        name = random_name(9, rng)
+        assert len(name) == 9
+        assert set(name) <= {"0", "1"}
+
+    def test_rejects_zero_bits(self, rng):
+        with pytest.raises(ValueError):
+            random_name(0, rng)
+
+    def test_leading_zeros_preserved(self):
+        # Must be fixed-width: many draws, all length 5.
+        rng = make_rng(0, "names")
+        assert all(len(random_name(5, rng)) == 5 for _ in range(200))
+
+
+class TestAppendRandomBit:
+    def test_grows_by_one(self, rng):
+        grown = append_random_bit("01", rng)
+        assert len(grown) == 3
+        assert grown.startswith("01")
+        assert grown[2] in "01"
+
+    def test_from_empty(self, rng):
+        assert len(append_random_bit(EMPTY_NAME, rng)) == 1
+
+
+class TestIsValidName:
+    def test_accepts_short_and_empty(self):
+        assert is_valid_name("", 6)
+        assert is_valid_name("0101", 6)
+
+    def test_rejects_too_long_or_bad_chars(self):
+        assert not is_valid_name("0000000", 6)
+        assert not is_valid_name("01a1", 6)
+
+
+class TestRankInRoster:
+    def test_lexicographic_order(self):
+        roster = frozenset({"000", "010", "101"})
+        assert rank_in_roster("000", roster) == 1
+        assert rank_in_roster("010", roster) == 2
+        assert rank_in_roster("101", roster) == 3
+
+    def test_absent_name_returns_none(self):
+        assert rank_in_roster("111", frozenset({"000"})) is None
+
+    @given(
+        names=st.sets(
+            st.text(alphabet="01", min_size=4, max_size=4), min_size=2, max_size=10
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ranks_are_a_permutation(self, names):
+        roster = frozenset(names)
+        ranks = sorted(rank_in_roster(name, roster) for name in roster)
+        assert ranks == list(range(1, len(roster) + 1))
+
+    def test_equal_length_lexicographic_equals_numeric(self):
+        roster = frozenset({"0011", "0100", "1000"})
+        ordered = sorted(roster, key=lambda s: int(s, 2))
+        for position, name in enumerate(ordered, start=1):
+            assert rank_in_roster(name, roster) == position
+
+
+class TestFreshUniqueNames:
+    def test_unique_and_full_length(self, rng):
+        names = fresh_unique_names(12, 12, rng)
+        assert len(set(names)) == 12
+        assert all(len(name) == 12 for name in names)
+
+    def test_deterministic_given_rng(self):
+        a = fresh_unique_names(6, 9, make_rng(1, "f"))
+        b = fresh_unique_names(6, 9, make_rng(1, "f"))
+        assert a == b

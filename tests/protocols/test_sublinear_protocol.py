@@ -1,0 +1,207 @@
+"""Tests for Protocols 5-6 (Sublinear-Time-SSR)."""
+
+import pytest
+
+from repro.core.configuration import is_silent
+from repro.core.errors import NotSilentError
+from repro.core.rng import make_rng
+from repro.core.scheduler import ScriptedScheduler
+from repro.core.simulation import Simulation
+from repro.protocols.parameters import calibrated_sublinear
+from repro.protocols.sublinear.history_tree import HistoryTree
+from repro.protocols.sublinear.names import fresh_unique_names
+from repro.protocols.sublinear.protocol import (
+    SubRole,
+    SublinearAgent,
+    SublinearTimeSSR,
+)
+
+
+def collecting(name, roster=None, rank=1):
+    return SublinearAgent(
+        role=SubRole.COLLECTING,
+        name=name,
+        rank=rank,
+        roster=frozenset(roster if roster is not None else (name,)),
+        tree=HistoryTree.singleton(name),
+    )
+
+
+class TestConstruction:
+    def test_default_h_is_log2_n(self):
+        assert SublinearTimeSSR(16).h == 4
+        assert SublinearTimeSSR(17).h == 5
+
+    def test_h_zero_is_silent_variant(self):
+        assert SublinearTimeSSR(8, h=0).silent
+        assert not SublinearTimeSSR(8, h=1).silent
+
+    def test_params_h_conflict_rejected(self):
+        params = calibrated_sublinear(8, h=2)
+        with pytest.raises(ValueError):
+            SublinearTimeSSR(8, h=3, params=params)
+
+    def test_params_without_h_accepted(self):
+        params = calibrated_sublinear(8, h=2)
+        assert SublinearTimeSSR(8, params=params).h == 2
+
+
+class TestCollectingInteractions:
+    def test_rosters_merge_by_union(self, rng):
+        p = SublinearTimeSSR(4, h=1)
+        names = fresh_unique_names(4, p.params.name_bits, rng)
+        a = collecting(names[0], {names[0], names[2]})
+        b = collecting(names[1], {names[1], names[3]})
+        a, b = p.transition(a, b, rng)
+        assert a.roster == b.roster == frozenset(names)
+
+    def test_rank_written_only_when_roster_full(self, rng):
+        p = SublinearTimeSSR(4, h=1)
+        names = sorted(fresh_unique_names(4, p.params.name_bits, rng))
+        a = collecting(names[0], set(names[:3]))
+        b = collecting(names[3], {names[3]})
+        a, b = p.transition(a, b, rng)
+        assert a.rank == 1  # lexicographically first
+        assert b.rank == 4
+
+    def test_rank_not_written_below_full(self, rng):
+        p = SublinearTimeSSR(4, h=1)
+        names = fresh_unique_names(4, p.params.name_bits, rng)
+        a = collecting(names[0], rank=3)
+        b = collecting(names[1], rank=2)
+        a, b = p.transition(a, b, rng)
+        assert (a.rank, b.rank) == (3, 2)  # untouched
+
+    def test_name_collision_triggers_reset(self, rng):
+        p = SublinearTimeSSR(4, h=1)
+        name = "0" * p.params.name_bits
+        a, b = p.transition(collecting(name), collecting(name), rng)
+        assert a.role is b.role is SubRole.RESETTING
+        assert a.resetcount == p.params.reset.r_max
+        assert a.roster == frozenset()  # collecting fields cleared
+
+    def test_roster_overflow_triggers_reset(self, rng):
+        p = SublinearTimeSSR(3, h=1)
+        names = fresh_unique_names(6, p.params.name_bits, rng)
+        a = collecting(names[0], set(names[:3]))
+        b = collecting(names[1], set(names[3:]) | {names[1]})
+        a, b = p.transition(a, b, rng)
+        assert a.role is b.role is SubRole.RESETTING
+
+    def test_name_missing_from_roster_skips_rank_write(self, rng):
+        # Adversarial: full roster that does not contain the agent's name.
+        p = SublinearTimeSSR(3, h=1)
+        names = fresh_unique_names(4, p.params.name_bits, rng)
+        a = collecting(names[0], set(names[1:4]), rank=2)  # own name absent
+        b = collecting(names[1], set(names[1:4]), rank=2)
+        a, b = p.transition(a, b, rng)
+        if a.role is SubRole.COLLECTING:  # no collision fired
+            assert a.rank == 2  # unchanged: no crash, no bogus write
+
+
+class TestResettingInteractions:
+    def test_propagating_agent_clears_name(self, rng):
+        p = SublinearTimeSSR(4, h=1)
+        a = SublinearAgent(role=SubRole.RESETTING, name="1010", resetcount=5)
+        b = collecting("0" * p.params.name_bits)
+        a, b = p.transition(a, b, rng)
+        assert a.name == ""
+        assert b.role is SubRole.RESETTING  # recruited
+        assert b.name == ""  # recruited agents propagate too
+
+    def test_dormant_agent_grows_name(self, rng):
+        p = SublinearTimeSSR(4, h=1)
+        a = SublinearAgent(
+            role=SubRole.RESETTING, name="", resetcount=0, delaytimer=50
+        )
+        b = SublinearAgent(
+            role=SubRole.RESETTING, name="", resetcount=0, delaytimer=50
+        )
+        a, b = p.transition(a, b, rng)
+        assert len(a.name) == 1 and len(b.name) == 1
+
+    def test_full_name_stops_growing(self, rng):
+        p = SublinearTimeSSR(4, h=1)
+        full = "1" * p.params.name_bits
+        a = SublinearAgent(
+            role=SubRole.RESETTING, name=full, resetcount=0, delaytimer=50
+        )
+        b = SublinearAgent(
+            role=SubRole.RESETTING, name="", resetcount=0, delaytimer=50
+        )
+        a, b = p.transition(a, b, rng)
+        assert a.name == full
+
+    def test_reset_restores_collecting_state(self, rng):
+        p = SublinearTimeSSR(4, h=1)
+        full = "1" * p.params.name_bits
+        a = SublinearAgent(
+            role=SubRole.RESETTING, name=full, resetcount=0, delaytimer=1
+        )
+        b = collecting("0" * p.params.name_bits)
+        a, b = p.transition(a, b, rng)
+        assert a.role is SubRole.COLLECTING
+        assert a.roster == frozenset((full,))
+        assert a.tree.canonical(0) == HistoryTree.singleton(full).canonical(0)
+        assert a.clock == 0
+
+
+class TestOutputs:
+    def test_rank_of_roles(self):
+        p = SublinearTimeSSR(4, h=1)
+        assert p.rank_of(collecting("0101", rank=3)) == 3
+        assert p.rank_of(SublinearAgent(role=SubRole.RESETTING, name="")) is None
+
+    def test_correct_configuration(self, rng):
+        p = SublinearTimeSSR(4, h=1)
+        names = sorted(fresh_unique_names(4, p.params.name_bits, rng))
+        states = [
+            collecting(name, set(names), rank=i + 1) for i, name in enumerate(names)
+        ]
+        assert p.is_correct(states)
+
+    def test_unique_names_configuration(self, rng):
+        p = SublinearTimeSSR(6, h=1)
+        states = p.unique_names_configuration(rng)
+        assert len({s.name for s in states}) == 6
+        assert all(s.roster == frozenset((s.name,)) for s in states)
+
+
+class TestSilenceH0:
+    def test_final_configuration_is_silent(self, rng):
+        p = SublinearTimeSSR(3, h=0)
+        names = sorted(fresh_unique_names(3, p.params.name_bits, rng))
+        states = [
+            collecting(name, set(names), rank=i + 1) for i, name in enumerate(names)
+        ]
+        assert is_silent(p, states)
+
+    def test_partial_rosters_not_silent(self, rng):
+        p = SublinearTimeSSR(3, h=0)
+        names = fresh_unique_names(3, p.params.name_bits, rng)
+        states = [collecting(name) for name in names]
+        assert not is_silent(p, states)
+
+    def test_h1_rejects_silence_queries(self, rng):
+        p = SublinearTimeSSR(3, h=1)
+        with pytest.raises(NotSilentError):
+            is_silent(p, p.unique_names_configuration(rng))
+
+    def test_equal_names_pair_is_not_null(self):
+        p = SublinearTimeSSR(3, h=0)
+        name = "0" * p.params.name_bits
+        assert not p.is_pair_null(collecting(name), collecting(name))
+
+
+class TestRandomState:
+    def test_fields_in_domain(self, rng):
+        p = SublinearTimeSSR(6, h=2)
+        for _ in range(100):
+            s = p.random_state(rng)
+            assert len(s.name) <= p.params.name_bits
+            if s.role is SubRole.COLLECTING:
+                assert len(s.roster) <= 6
+                assert 1 <= s.rank <= 6
+                assert s.tree.depth() <= 2
+            else:
+                assert 0 <= s.resetcount <= p.params.reset.r_max

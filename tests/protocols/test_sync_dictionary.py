@@ -1,0 +1,102 @@
+"""Tests for the O(sqrt n) sync-dictionary warm-up protocol."""
+
+import pytest
+
+from repro.core.rng import make_rng
+from repro.protocols.sublinear.names import fresh_unique_names
+from repro.protocols.sync_dictionary import DictAgent, DictRole, SyncDictionarySSR
+
+
+def collecting(name, roster=None, syncs=None, rank=1):
+    return DictAgent(
+        role=DictRole.COLLECTING,
+        name=name,
+        rank=rank,
+        roster=frozenset(roster if roster is not None else (name,)),
+        syncs=dict(syncs or {}),
+    )
+
+
+class TestRecordsCollide:
+    def test_equal_names(self):
+        assert SyncDictionarySSR.records_collide(collecting("x"), collecting("x"))
+
+    def test_no_records_no_collision(self):
+        assert not SyncDictionarySSR.records_collide(collecting("x"), collecting("y"))
+
+    def test_matching_records_ok(self):
+        a = collecting("x", syncs={"y": 5})
+        b = collecting("y", syncs={"x": 5})
+        assert not SyncDictionarySSR.records_collide(a, b)
+
+    def test_mismatched_records_collide(self):
+        a = collecting("x", syncs={"y": 5})
+        b = collecting("y", syncs={"x": 6})
+        assert SyncDictionarySSR.records_collide(a, b)
+
+    def test_one_sided_record_collides(self):
+        a = collecting("x", syncs={"y": 5})
+        b = collecting("y")
+        assert SyncDictionarySSR.records_collide(a, b)
+        assert SyncDictionarySSR.records_collide(b, a)
+
+
+class TestTransition:
+    def test_meeting_records_shared_sync(self, rng):
+        p = SyncDictionarySSR(4)
+        names = fresh_unique_names(4, p.params.name_bits, rng)
+        a, b = p.transition(collecting(names[0]), collecting(names[1]), rng)
+        assert a.syncs[names[1]] == b.syncs[names[0]]
+
+    def test_collision_triggers_reset(self, rng):
+        p = SyncDictionarySSR(4)
+        name = "0" * p.params.name_bits
+        a, b = p.transition(collecting(name), collecting(name), rng)
+        assert a.role is b.role is DictRole.RESETTING
+        assert a.syncs == {}
+
+    def test_witness_scenario(self, rng):
+        """b meets x, then the duplicate x': mismatch exposed."""
+        p = SyncDictionarySSR(4)
+        names = fresh_unique_names(4, p.params.name_bits, rng)
+        x, dup, b = collecting(names[0]), collecting(names[0]), collecting(names[1])
+        b, x = p.transition(b, x, rng)
+        b2, dup = p.transition(b, dup, rng)
+        assert b2.role is DictRole.RESETTING
+        assert dup.role is DictRole.RESETTING
+
+    def test_remeeting_refreshes_both_sides(self, rng):
+        p = SyncDictionarySSR(4)
+        names = fresh_unique_names(4, p.params.name_bits, rng)
+        a, b = collecting(names[0]), collecting(names[1])
+        a, b = p.transition(a, b, rng)
+        first = a.syncs[names[1]]
+        for _ in range(20):  # re-meet until the sync value changes
+            a, b = p.transition(a, b, rng)
+            assert a.syncs[names[1]] == b.syncs[names[0]]
+            if a.syncs[names[1]] != first:
+                break
+        else:  # pragma: no cover - probability (1/s_max)^20
+            pytest.fail("sync value never refreshed")
+
+    def test_rank_assignment_on_full_roster(self, rng):
+        p = SyncDictionarySSR(3)
+        names = sorted(fresh_unique_names(3, p.params.name_bits, rng))
+        a = collecting(names[0], set(names[:2]))
+        b = collecting(names[2], {names[2]})
+        a, b = p.transition(a, b, rng)
+        assert a.rank == 1
+        assert b.rank == 3
+
+
+class TestConvergence:
+    def test_stabilizes_from_planted_collision(self):
+        from repro.experiments.common import measure_convergence
+        from repro.experiments.hsweep import dict_collision_start
+
+        p = SyncDictionarySSR(8)
+        rng = make_rng(11, "dict-conv")
+        outcome = measure_convergence(
+            p, dict_collision_start(p, rng), rng=rng, max_time=3000.0
+        )
+        assert outcome.converged
