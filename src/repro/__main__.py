@@ -1,4 +1,8 @@
-"""``python -m repro`` -- entry point for the experiment CLI."""
+"""``python -m repro`` -- entry point for the experiment + lint CLI.
+
+Subcommands: ``list`` and ``run`` (experiments), ``lint`` (the static
+protocol verifier -- see :mod:`repro.statics.lint`).
+"""
 
 import sys
 

@@ -18,7 +18,10 @@ from typing import List, Sequence, Tuple
 def mean(values: Sequence[float]) -> float:
     if not values:
         raise ValueError("cannot average an empty sample")
-    return sum(values) / len(values)
+    # Clamp into [min, max]: float summation can round the mean one ULP
+    # past the extremes (e.g. averaging several copies of the same value),
+    # which would break the min <= mean <= max invariant downstream.
+    return min(max(sum(values) / len(values), min(values)), max(values))
 
 
 def sample_std(values: Sequence[float]) -> float:

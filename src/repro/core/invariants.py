@@ -1,24 +1,29 @@
-"""Runtime invariant checking.
+"""Runtime invariant checking, driven by the declared state schemas.
 
 A protocols library lives or dies by its state-space hygiene: every
 field must stay inside its declared domain, role switches must delete
 the old role's fields, derived structures (history trees) must keep
-their structural invariants.  This module makes those checks first-class
-and pluggable:
+their structural invariants.  Those declarations live in one place --
+the :class:`~repro.statics.schema.StateSchema` each protocol module
+registers (see :mod:`repro.statics.schema`) -- and this module turns
+them into runtime monitoring:
 
-* each protocol gets an *invariant function* ``check(protocol, state) ->
+* :func:`invariant_for` resolves a protocol's schema from the registry
+  and wraps it as an *invariant function* ``check(protocol, state) ->
   list[str]`` returning human-readable violations (empty = clean);
 * :class:`InvariantMonitor` attaches any invariant function to a running
   :class:`~repro.core.simulation.Simulation` and either records or raises
   on the first violation -- the simulation-level analogue of debug
-  assertions;
-* :func:`invariant_for` resolves the right checker for a protocol
-  instance, so tests can simply write
-  ``InvariantMonitor.for_protocol(protocol)``.
+  assertions.
 
-These checks are *supplementary* (the protocols are correct without
-them); they exist to catch regressions loudly and to document, in code,
-exactly what each role's state looks like.
+The same schemas feed the static passes (:mod:`repro.statics.modelcheck`
+enumerates them exhaustively at small n; ``python -m repro lint`` drives
+everything), so the runtime monitor and the static verifier can never
+drift apart: there is only one description of each state space.
+
+The historical per-protocol checkers (``check_ciw``,
+``check_optimal_silent``, ...) remain as named thin wrappers over the
+schemas, for callers and tests that resolve them directly.
 """
 
 from __future__ import annotations
@@ -27,22 +32,7 @@ from typing import Callable, List, Optional, TypeVar
 
 from repro.core.monitors import Monitor
 from repro.core.protocol import PopulationProtocol
-from repro.protocols.cai_izumi_wada import SilentNStateSSR
-from repro.protocols.optimal_silent import (
-    FOLLOWER,
-    LEADER,
-    OptimalSilentAgent,
-    OptimalSilentSSR,
-    Role,
-)
-from repro.protocols.propagate_reset import ResetTimingProtocol, TimingAgent, TimingRole
-from repro.protocols.sublinear.names import is_valid_name
-from repro.protocols.sublinear.protocol import (
-    SublinearAgent,
-    SublinearTimeSSR,
-    SubRole,
-)
-from repro.protocols.sync_dictionary import DictAgent, DictRole, SyncDictionarySSR
+from repro.statics.schema import has_schema, schema_for
 
 S = TypeVar("S")
 
@@ -54,160 +44,63 @@ class InvariantViolation(AssertionError):
 
 
 # ---------------------------------------------------------------------------
-# Per-protocol invariant functions
+# Schema-driven invariant functions
 # ---------------------------------------------------------------------------
 
 
-def check_ciw(protocol: SilentNStateSSR, state: int) -> List[str]:
+def check_schema(protocol: PopulationProtocol, state: object) -> List[str]:
+    """The generic invariant function: validate against the registered schema.
+
+    Schemas are resolved per call (they are cheap to build and depend
+    only on the protocol instance), so a checker obtained for one
+    protocol object applies correctly to another of the same type.
+    """
+    return schema_for(protocol).validate(state)
+
+
+# Named aliases kept from the pre-schema implementation: each protocol's
+# checker used to be hand-written here; the schema registry now carries
+# the definitions, and these names delegate to it.
+def check_ciw(protocol: PopulationProtocol, state: object) -> List[str]:
     """Silent-n-state-SSR: the state *is* the rank, in 0..n-1."""
-    if not isinstance(state, int) or not 0 <= state < protocol.n:
-        return [f"rank {state!r} outside 0..{protocol.n - 1}"]
-    return []
+    return check_schema(protocol, state)
 
 
-def check_optimal_silent(
-    protocol: OptimalSilentSSR, state: OptimalSilentAgent
-) -> List[str]:
+def check_optimal_silent(protocol: PopulationProtocol, state: object) -> List[str]:
     """Optimal-Silent-SSR: role-partitioned field domains (Protocol 3)."""
-    params = protocol.params
-    problems: List[str] = []
-    if state.role is Role.SETTLED:
-        if not 1 <= state.rank <= protocol.n:
-            problems.append(f"settled rank {state.rank} outside 1..{protocol.n}")
-        if not 0 <= state.children <= 2:
-            problems.append(f"children {state.children} outside 0..2")
-    elif state.role is Role.UNSETTLED:
-        if not 0 <= state.errorcount <= params.e_max:
-            problems.append(f"errorcount {state.errorcount} outside 0..{params.e_max}")
-        if state.rank != 0 or state.children != 0:
-            problems.append("unsettled agent leaked settled fields")
-    elif state.role is Role.RESETTING:
-        if state.leader not in (LEADER, FOLLOWER):
-            problems.append(f"leader bit {state.leader!r} invalid")
-        if not 0 <= state.resetcount <= params.reset.r_max:
-            problems.append(
-                f"resetcount {state.resetcount} outside 0..{params.reset.r_max}"
-            )
-        if not 0 <= state.delaytimer <= params.reset.d_max:
-            problems.append(
-                f"delaytimer {state.delaytimer} outside 0..{params.reset.d_max}"
-            )
-        if state.resetcount > 0 and state.delaytimer != 0:
-            problems.append("propagating agent carries a delay timer")
-        if state.rank != 0 or state.children != 0 or state.errorcount != 0:
-            problems.append("resetting agent leaked computing fields")
-    else:  # pragma: no cover - exhaustive over the enum
-        problems.append(f"unknown role {state.role!r}")
-    return problems
+    return check_schema(protocol, state)
 
 
-def check_sublinear(protocol: SublinearTimeSSR, state: SublinearAgent) -> List[str]:
+def check_sublinear(protocol: PopulationProtocol, state: object) -> List[str]:
     """Sublinear-Time-SSR: names, rosters, trees and timers in domain."""
-    params = protocol.params
-    problems: List[str] = []
-    if not is_valid_name(state.name, params.name_bits):
-        problems.append(f"name {state.name!r} outside {{0,1}}^<={params.name_bits}")
-    if state.role is SubRole.COLLECTING:
-        if not 1 <= state.rank <= protocol.n:
-            problems.append(f"rank {state.rank} outside 1..{protocol.n}")
-        if len(state.roster) > protocol.n:
-            problems.append(f"roster size {len(state.roster)} exceeds n={protocol.n}")
-        for name in state.roster:
-            if not is_valid_name(name, params.name_bits):
-                problems.append(f"roster holds invalid name {name!r}")
-                break
-        if state.tree.name != state.name:
-            problems.append(
-                f"tree root {state.tree.name!r} differs from name {state.name!r}"
-            )
-        if state.tree.depth() > params.h:
-            problems.append(
-                f"tree depth {state.tree.depth()} exceeds H={params.h}"
-            )
-        for edge in state.tree.iter_edges():
-            if not 1 <= edge.sync <= params.s_max:
-                problems.append(f"sync {edge.sync} outside 1..{params.s_max}")
-                break
-            if edge.remaining(state.clock) > params.t_h:
-                problems.append(
-                    f"timer remainder {edge.remaining(state.clock)} exceeds "
-                    f"T_H={params.t_h}"
-                )
-                break
-    else:
-        if not 0 <= state.resetcount <= params.reset.r_max:
-            problems.append(
-                f"resetcount {state.resetcount} outside 0..{params.reset.r_max}"
-            )
-        if not 0 <= state.delaytimer <= params.reset.d_max:
-            problems.append(
-                f"delaytimer {state.delaytimer} outside 0..{params.reset.d_max}"
-            )
-        if state.resetcount > 0 and state.name != "":
-            # Names are cleared while the reset propagates; the clearing
-            # happens on the agent's next interaction, so only flag a
-            # propagating agent that has *grown* a name.
-            pass
-    return problems
+    return check_schema(protocol, state)
 
 
-def check_sync_dictionary(protocol: SyncDictionarySSR, state: DictAgent) -> List[str]:
-    params = protocol.params
-    problems: List[str] = []
-    if not is_valid_name(state.name, params.name_bits):
-        problems.append(f"name {state.name!r} outside {{0,1}}^<={params.name_bits}")
-    if state.role is DictRole.COLLECTING:
-        if not 1 <= state.rank <= protocol.n:
-            problems.append(f"rank {state.rank} outside 1..{protocol.n}")
-        if len(state.roster) > protocol.n:
-            problems.append(f"roster size {len(state.roster)} exceeds n={protocol.n}")
-        for name, sync in state.syncs.items():
-            if not 1 <= sync <= params.s_max:
-                problems.append(f"sync {sync} for {name!r} outside 1..{params.s_max}")
-                break
-    else:
-        if not 0 <= state.resetcount <= params.reset.r_max:
-            problems.append(
-                f"resetcount {state.resetcount} outside 0..{params.reset.r_max}"
-            )
-        if not 0 <= state.delaytimer <= params.reset.d_max:
-            problems.append(
-                f"delaytimer {state.delaytimer} outside 0..{params.reset.d_max}"
-            )
-    return problems
+def check_sync_dictionary(protocol: PopulationProtocol, state: object) -> List[str]:
+    """Sync-dictionary SSR: names, rosters and sync records in domain."""
+    return check_schema(protocol, state)
 
 
-def check_reset_timing(protocol: ResetTimingProtocol, state: TimingAgent) -> List[str]:
-    problems: List[str] = []
-    if state.role is TimingRole.RESETTING:
-        if not 0 <= state.resetcount <= protocol.params.r_max:
-            problems.append(
-                f"resetcount {state.resetcount} outside 0..{protocol.params.r_max}"
-            )
-        if not 0 <= state.delaytimer <= protocol.params.d_max:
-            problems.append(
-                f"delaytimer {state.delaytimer} outside 0..{protocol.params.d_max}"
-            )
-    if state.generation < 0:
-        problems.append(f"negative generation {state.generation}")
-    return problems
-
-
-_CHECKERS = [
-    (SublinearTimeSSR, check_sublinear),
-    (SyncDictionarySSR, check_sync_dictionary),
-    (OptimalSilentSSR, check_optimal_silent),
-    (SilentNStateSSR, check_ciw),
-    (ResetTimingProtocol, check_reset_timing),
-]
+def check_reset_timing(protocol: PopulationProtocol, state: object) -> List[str]:
+    """Propagate-Reset bookkeeping domains."""
+    return check_schema(protocol, state)
 
 
 def invariant_for(protocol: PopulationProtocol) -> InvariantFn:
-    """Resolve the invariant function for a protocol instance."""
-    for protocol_type, checker in _CHECKERS:
-        if isinstance(protocol, protocol_type):
-            return checker
-    raise KeyError(f"no invariant checker registered for {type(protocol).__name__}")
+    """Resolve the invariant function for a protocol instance.
+
+    Derived from the schema registry: any protocol whose module
+    registered a :class:`~repro.statics.schema.StateSchema` builder
+    (including subclasses, via the registry's MRO walk) gets the
+    schema-validating checker.  Raises :class:`KeyError` for protocols
+    without a schema, mirroring the registry's contract.
+    """
+    if not has_schema(protocol):
+        raise KeyError(
+            f"no state schema registered for {type(protocol).__name__}; "
+            "register one with repro.statics.schema.register_schema"
+        )
+    return check_schema
 
 
 def check_configuration(

@@ -7,6 +7,9 @@ Examples::
     repro run table1 --quick        # fast, smaller version of Table 1
     repro run all --seed 7          # everything, custom seed
     repro run obs22 -o obs22.md     # write the markdown report to a file
+    repro lint                      # static verification of all protocols
+    repro lint OptimalSilentSSR     # ... of one protocol
+    repro lint --audit-states       # + Table 1 state-count audit CSV
 """
 
 from __future__ import annotations
@@ -57,6 +60,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="additionally write rows/checks CSVs and a manifest to DIR",
     )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically verify protocols (schemas, model checking, sanitizer)",
+    )
+    lint_parser.add_argument(
+        "protocols",
+        nargs="*",
+        metavar="protocol",
+        help="protocol names to lint (default: all registered, mutants excluded)",
+    )
+    lint_parser.add_argument(
+        "--audit-states",
+        action="store_true",
+        help="emit per-protocol state counts and check them against Table 1",
+    )
+    lint_parser.add_argument(
+        "--audit-path",
+        default=None,
+        metavar="CSV",
+        help="where --audit-states writes its CSV "
+        "(default: reports/csv/statecount_audit.csv)",
+    )
+    lint_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the findings report to this file instead of stdout",
+    )
     return parser
 
 
@@ -98,6 +130,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         for experiment_id in all_experiments():
             print(experiment_id)
         return 0
+
+    if args.command == "lint":
+        # Imported lazily: lint pulls in the whole protocol package.
+        from repro.statics.lint import DEFAULT_AUDIT_PATH, main as lint_main
+
+        return lint_main(
+            args.protocols or None,
+            audit_states=args.audit_states,
+            audit_path=args.audit_path or DEFAULT_AUDIT_PATH,
+            output=args.output,
+        )
 
     targets = all_experiments() if args.experiment == "all" else [args.experiment]
     ok = True

@@ -22,6 +22,13 @@ import random
 from typing import List, Optional, Sequence, Tuple
 
 from repro.protocols.base import RankingProtocol
+from repro.statics.schema import (
+    FieldSpec,
+    IntRange,
+    StateSchema,
+    register_schema,
+    scalar_schema,
+)
 
 
 class SilentNStateSSR(RankingProtocol[int]):
@@ -80,3 +87,18 @@ class SilentNStateSSR(RankingProtocol[int]):
         for rank, count in enumerate(counts):
             states.extend([rank] * count)
         return states
+
+
+# ---------------------------------------------------------------------------
+# Declared state schema (consumed by repro.core.invariants and repro.statics)
+# ---------------------------------------------------------------------------
+
+
+@register_schema(SilentNStateSSR)
+def _silent_n_state_schema(protocol: SilentNStateSSR) -> StateSchema:
+    """The whole state is the rank: exactly ``n`` states (Table 1)."""
+    return scalar_schema(
+        "SilentNStateSSR",
+        FieldSpec("rank", IntRange(0, protocol.n - 1)),
+        build=lambda rank: rank,
+    )

@@ -36,3 +36,8 @@ class DirectCollisionSSR(SublinearTimeSSR):
         if params is not None and params.h != 0:
             raise ValueError(f"DirectCollisionSSR requires h=0 params, got {params.h}")
         super().__init__(n, h=0, params=params)
+
+    # State schema: inherited from SublinearTimeSSR via the registry's
+    # MRO walk (repro.statics.schema.schema_for) -- the H=0 variant has
+    # the same per-role fields, with the tree constraints degenerating to
+    # "depth 0".

@@ -22,6 +22,7 @@ import random
 from typing import List, Optional, Sequence, Tuple, TypeVar
 
 from repro.protocols.base import RankingProtocol
+from repro.statics.schema import StateSchema, register_schema, schema_for
 
 S = TypeVar("S")
 
@@ -92,3 +93,9 @@ class ImmobilizedLeaderProtocol(RankingProtocol[S]):
 
     def state_count(self) -> int:
         return self.inner.state_count()
+
+
+@register_schema(ImmobilizedLeaderProtocol)
+def _immobilized_schema(protocol: ImmobilizedLeaderProtocol) -> StateSchema:
+    """The transform permutes participants, never states: same schema."""
+    return schema_for(protocol.inner)

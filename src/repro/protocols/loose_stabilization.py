@@ -44,6 +44,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.protocol import PopulationProtocol
+from repro.statics.schema import (
+    Choice,
+    FieldSpec,
+    IntRange,
+    RoleSchema,
+    StateSchema,
+    register_schema,
+)
 
 
 @dataclass
@@ -167,3 +175,31 @@ class LooselyStabilizingLE(PopulationProtocol[LooseAgent]):
             if not self.is_correct(sim.states):
                 return sim.parallel_time, False
         return max_time, True
+
+
+# ---------------------------------------------------------------------------
+# Declared state schema (consumed by repro.core.invariants and repro.statics)
+# ---------------------------------------------------------------------------
+
+
+@register_schema(LooselyStabilizingLE)
+def _loose_schema(protocol: LooselyStabilizingLE) -> StateSchema:
+    """Leader bit x timer: ``2 (t_max + 1)`` states, independent of n.
+
+    Enumerable, so the model checker can sweep closure and determinism;
+    the protocol is deliberately not silent (its correct configurations
+    are unstable), so the silence/stabilization rules do not apply.
+    """
+    return StateSchema(
+        "LooselyStabilizingLE",
+        [
+            RoleSchema(
+                role=None,
+                fields=(
+                    FieldSpec("leader", Choice((False, True))),
+                    FieldSpec("timer", IntRange(0, protocol.t_max)),
+                ),
+                build=lambda leader, timer: LooseAgent(leader=leader, timer=timer),
+            )
+        ],
+    )

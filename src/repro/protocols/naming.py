@@ -33,6 +33,7 @@ from typing import Hashable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.protocols.base import RankingProtocol
 from repro.protocols.sublinear.protocol import SubRole, SublinearAgent
+from repro.statics.schema import StateSchema, register_schema, schema_for
 
 S = TypeVar("S")
 
@@ -131,6 +132,12 @@ class NamingOnlyProtocol(RankingProtocol[Tuple]):
 
     def is_pair_null(self, a, b) -> bool:
         return self.inner.is_pair_null(a, b)
+
+
+@register_schema(NamingOnlyProtocol)
+def _naming_only_schema(protocol: NamingOnlyProtocol) -> StateSchema:
+    """Censoring happens at the output map; states are the inner states."""
+    return schema_for(protocol.inner)
 
 
 def _next_prime(value: int) -> int:

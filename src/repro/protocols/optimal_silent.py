@@ -48,6 +48,15 @@ from repro.protocols.parameters import (
     calibrated_optimal_silent,
 )
 from repro.protocols.propagate_reset import ResetHooks, propagate_reset_interaction
+from repro.statics.schema import (
+    Choice,
+    Constraint,
+    FieldSpec,
+    IntRange,
+    RoleSchema,
+    StateSchema,
+    register_schema,
+)
 
 
 class Role(Enum):
@@ -293,3 +302,78 @@ class OptimalSilentSSR(RankingProtocol[OptimalSilentAgent]):
         return [
             OptimalSilentAgent(role=Role.SETTLED, rank=r, children=2) for r in ranks
         ]
+
+
+# ---------------------------------------------------------------------------
+# Declared state schema (consumed by repro.core.invariants and repro.statics)
+# ---------------------------------------------------------------------------
+
+
+@register_schema(OptimalSilentSSR)
+def _optimal_silent_schema(protocol: OptimalSilentSSR) -> StateSchema:
+    """Role-partitioned domains; the enumeration matches ``state_count``.
+
+    A role switch deletes the previous role's fields (they return to the
+    dataclass defaults), so each role's schema constrains the *other*
+    roles' fields to their canonical values -- exactly what makes the
+    state count additive: ``3n + (E_max + 1) + 2(R_max + D_max + 1)``.
+    """
+    params = protocol.params
+    n = protocol.n
+    settled = RoleSchema(
+        role=Role.SETTLED,
+        fields=(
+            FieldSpec("rank", IntRange(1, n), label="settled rank"),
+            FieldSpec("children", IntRange(0, 2)),
+        ),
+        build=lambda rank, children: OptimalSilentAgent(
+            role=Role.SETTLED, rank=rank, children=children
+        ),
+    )
+    unsettled = RoleSchema(
+        role=Role.UNSETTLED,
+        fields=(FieldSpec("errorcount", IntRange(0, params.e_max)),),
+        constraints=(
+            Constraint(
+                "unsettled-leak",
+                lambda s: None
+                if s.rank == 0 and s.children == 0
+                else "unsettled agent leaked settled fields",
+            ),
+        ),
+        build=lambda errorcount: OptimalSilentAgent(
+            role=Role.UNSETTLED, errorcount=errorcount
+        ),
+    )
+    resetting = RoleSchema(
+        role=Role.RESETTING,
+        fields=(
+            FieldSpec("leader", Choice((LEADER, FOLLOWER)), label="leader bit"),
+            FieldSpec("resetcount", IntRange(0, params.reset.r_max)),
+            FieldSpec("delaytimer", IntRange(0, params.reset.d_max)),
+        ),
+        constraints=(
+            # The delay timer exists only while dormant (resetcount == 0);
+            # this constraint is what trims the resetting role's count to
+            # R_max + D_max + 1 combinations per leader bit.
+            Constraint(
+                "propagating-delay",
+                lambda s: "propagating agent carries a delay timer"
+                if s.resetcount > 0 and s.delaytimer != 0
+                else None,
+            ),
+            Constraint(
+                "resetting-leak",
+                lambda s: None
+                if s.rank == 0 and s.children == 0 and s.errorcount == 0
+                else "resetting agent leaked computing fields",
+            ),
+        ),
+        build=lambda leader, resetcount, delaytimer: OptimalSilentAgent(
+            role=Role.RESETTING,
+            leader=leader,
+            resetcount=resetcount,
+            delaytimer=delaytimer,
+        ),
+    )
+    return StateSchema("OptimalSilentSSR", [settled, unsettled, resetting])

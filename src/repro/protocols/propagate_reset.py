@@ -39,6 +39,14 @@ from typing import Callable, Generic, Tuple, TypeVar
 
 from repro.core.protocol import PopulationProtocol
 from repro.protocols.parameters import ResetParameters
+from repro.statics.schema import (
+    Constraint,
+    FieldSpec,
+    IntRange,
+    RoleSchema,
+    StateSchema,
+    register_schema,
+)
 
 A = TypeVar("A")
 
@@ -242,3 +250,33 @@ class ResetTimingProtocol(PopulationProtocol[TimingAgent]):
         if state.resetcount > 0:
             return f"propagating(rc={state.resetcount})"
         return f"dormant(delay={state.delaytimer})"
+
+
+# ---------------------------------------------------------------------------
+# Declared state schema (consumed by repro.core.invariants and repro.statics)
+# ---------------------------------------------------------------------------
+
+
+def _check_generation(state: TimingAgent):
+    if state.generation < 0:
+        return f"negative generation {state.generation}"
+    return None
+
+
+@register_schema(ResetTimingProtocol)
+def _reset_timing_schema(protocol: ResetTimingProtocol) -> StateSchema:
+    """Reset bookkeeping domains; ``generation`` is unbounded by design,
+    so the schema validates but does not enumerate."""
+    generation = Constraint("generation", _check_generation)
+    computing = RoleSchema(
+        role=TimingRole.COMPUTING, fields=(), constraints=(generation,)
+    )
+    resetting = RoleSchema(
+        role=TimingRole.RESETTING,
+        fields=(
+            FieldSpec("resetcount", IntRange(0, protocol.params.r_max)),
+            FieldSpec("delaytimer", IntRange(0, protocol.params.d_max)),
+        ),
+        constraints=(generation,),
+    )
+    return StateSchema("ResetTimingProtocol", [computing, resetting])

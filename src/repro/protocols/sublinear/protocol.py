@@ -39,8 +39,19 @@ from repro.protocols.sublinear.names import (
     EMPTY_NAME,
     append_random_bit,
     fresh_unique_names,
+    is_valid_name,
     random_name,
     rank_in_roster,
+)
+from repro.statics.schema import (
+    Anything,
+    Constraint,
+    FieldSpec,
+    IntRange,
+    Predicate,
+    RoleSchema,
+    StateSchema,
+    register_schema,
 )
 
 
@@ -324,3 +335,86 @@ class SublinearTimeSSR(RankingProtocol[SublinearAgent]):
             if rank is not None and rank != agent.rank:
                 return False
         return True
+
+
+# ---------------------------------------------------------------------------
+# Declared state schema (consumed by repro.core.invariants and repro.statics)
+# ---------------------------------------------------------------------------
+
+
+def _check_roster(protocol: SublinearTimeSSR, state: SublinearAgent):
+    params = protocol.params
+    problems = []
+    if len(state.roster) > protocol.n:
+        problems.append(
+            f"roster size {len(state.roster)} exceeds n={protocol.n}"
+        )
+    for name in state.roster:
+        if not is_valid_name(name, params.name_bits):
+            problems.append(f"roster holds invalid name {name!r}")
+            break
+    return problems
+
+
+def _check_tree(protocol: SublinearTimeSSR, state: SublinearAgent):
+    params = protocol.params
+    problems = []
+    if state.tree.name != state.name:
+        problems.append(
+            f"tree root {state.tree.name!r} differs from name {state.name!r}"
+        )
+    if state.tree.depth() > params.h:
+        problems.append(f"tree depth {state.tree.depth()} exceeds H={params.h}")
+    for edge in state.tree.iter_edges():
+        if not 1 <= edge.sync <= params.s_max:
+            problems.append(f"sync {edge.sync} outside 1..{params.s_max}")
+            break
+        if edge.remaining(state.clock) > params.t_h:
+            problems.append(
+                f"timer remainder {edge.remaining(state.clock)} exceeds "
+                f"T_H={params.t_h}"
+            )
+            break
+    return problems
+
+
+@register_schema(SublinearTimeSSR)
+def _sublinear_schema(protocol: SublinearTimeSSR) -> StateSchema:
+    """Names, rosters, trees and timers in domain.
+
+    Rosters and depth-``H`` history trees make this state space
+    astronomically large (Table 1's ``exp(O(n^H) log n)``), so the
+    schema is *not* enumerable: it serves runtime validation and the
+    transition sanitizer, while the small-n model checker covers the
+    enumerable protocols.
+    """
+    params = protocol.params
+    name_field = FieldSpec(
+        "name",
+        Predicate(
+            lambda value: is_valid_name(value, params.name_bits),
+            f"{{0,1}}^<={params.name_bits}",
+        ),
+    )
+    collecting = RoleSchema(
+        role=SubRole.COLLECTING,
+        fields=(
+            name_field,
+            FieldSpec("rank", IntRange(1, protocol.n)),
+            FieldSpec("roster", Anything()),
+            FieldSpec("tree", Anything(), in_key=False),
+        ),
+        constraints=(
+            Constraint("roster", lambda s: _check_roster(protocol, s)),
+            Constraint("history-tree", lambda s: _check_tree(protocol, s)),
+        ),
+    )
+    resetting = RoleSchema(
+        role=SubRole.RESETTING,
+        fields=(
+            name_field,
+            FieldSpec("resetcount", IntRange(0, params.reset.r_max)),
+            FieldSpec("delaytimer", IntRange(0, params.reset.d_max)),
+        ),
+    )
+    return StateSchema("SublinearTimeSSR", [collecting, resetting])

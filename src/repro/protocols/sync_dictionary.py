@@ -32,8 +32,19 @@ from repro.protocols.sublinear.names import (
     EMPTY_NAME,
     append_random_bit,
     fresh_unique_names,
+    is_valid_name,
     random_name,
     rank_in_roster,
+)
+from repro.statics.schema import (
+    Anything,
+    Constraint,
+    FieldSpec,
+    IntRange,
+    Predicate,
+    RoleSchema,
+    StateSchema,
+    register_schema,
 )
 
 
@@ -223,3 +234,52 @@ class SyncDictionarySSR(RankingProtocol[DictAgent]):
             f"resetting[{kind}](name={state.name or 'eps'}, "
             f"rc={state.resetcount}, delay={state.delaytimer})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Declared state schema (consumed by repro.core.invariants and repro.statics)
+# ---------------------------------------------------------------------------
+
+
+def _check_syncs(protocol: SyncDictionarySSR, state: DictAgent):
+    params = protocol.params
+    problems = []
+    if len(state.roster) > protocol.n:
+        problems.append(f"roster size {len(state.roster)} exceeds n={protocol.n}")
+    for name, sync in state.syncs.items():
+        if not 1 <= sync <= params.s_max:
+            problems.append(f"sync {sync} for {name!r} outside 1..{params.s_max}")
+            break
+    return problems
+
+
+@register_schema(SyncDictionarySSR)
+def _sync_dictionary_schema(protocol: SyncDictionarySSR) -> StateSchema:
+    """Per-name sync dictionaries: validated, not enumerable."""
+    params = protocol.params
+    name_field = FieldSpec(
+        "name",
+        Predicate(
+            lambda value: is_valid_name(value, params.name_bits),
+            f"{{0,1}}^<={params.name_bits}",
+        ),
+    )
+    collecting = RoleSchema(
+        role=DictRole.COLLECTING,
+        fields=(
+            name_field,
+            FieldSpec("rank", IntRange(1, protocol.n)),
+            FieldSpec("roster", Anything()),
+            FieldSpec("syncs", Anything(), in_key=False),
+        ),
+        constraints=(Constraint("sync-records", lambda s: _check_syncs(protocol, s)),),
+    )
+    resetting = RoleSchema(
+        role=DictRole.RESETTING,
+        fields=(
+            name_field,
+            FieldSpec("resetcount", IntRange(0, params.reset.r_max)),
+            FieldSpec("delaytimer", IntRange(0, params.reset.d_max)),
+        ),
+    )
+    return StateSchema("SyncDictionarySSR", [collecting, resetting])

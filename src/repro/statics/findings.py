@@ -1,0 +1,98 @@
+"""Findings: the common currency of the static-analysis passes.
+
+Every statics layer (model checker, sanitizer, lint driver) reports
+problems as :class:`Finding` records -- severity, subject protocol, a
+stable rule id from the catalogue in ``docs/static_analysis.md``, a
+message, and (when available) a witness configuration demonstrating the
+violation.  ``repro lint`` renders them as a report and converts the
+worst severity into its exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence
+
+
+class Severity(Enum):
+    """How bad a finding is; ERROR findings fail the lint run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis result.
+
+    ``witness`` is a human-readable configuration (one ``describe()``
+    line per agent) or transition demonstrating the violation; rules
+    that certify global properties without a counterexample leave it
+    ``None``.
+    """
+
+    severity: Severity
+    protocol: str
+    rule_id: str
+    message: str
+    witness: Optional[str] = None
+
+
+def has_errors(findings: Iterable[Finding]) -> bool:
+    return any(finding.severity is Severity.ERROR for finding in findings)
+
+
+def worst_severity(findings: Sequence[Finding]) -> Optional[Severity]:
+    if not findings:
+        return None
+    return max((finding.severity for finding in findings), key=lambda s: s.rank)
+
+
+def render_witness_configuration(lines: Sequence[str]) -> str:
+    """Render per-agent describe() lines as a one-string witness."""
+    return " | ".join(f"agent {i}: {line}" for i, line in enumerate(lines))
+
+
+def render_report(
+    findings: Sequence[Finding],
+    *,
+    title: str = "repro lint report",
+    checked: Sequence[str] = (),
+) -> str:
+    """A markdown findings report (stable ordering: severity, protocol)."""
+    lines: List[str] = [f"# {title}", ""]
+    if checked:
+        lines.append(f"Checked: {', '.join(checked)}")
+        lines.append("")
+    if not findings:
+        lines.append("No findings: all checks passed.")
+        return "\n".join(lines)
+    ordered = sorted(
+        findings,
+        key=lambda f: (-f.severity.rank, f.protocol, f.rule_id, f.message),
+    )
+    lines.append(f"{len(ordered)} finding(s):")
+    lines.append("")
+    lines.append("| severity | protocol | rule | message |")
+    lines.append("|---|---|---|---|")
+    for finding in ordered:
+        message = finding.message.replace("|", "\\|")
+        lines.append(
+            f"| {finding.severity.value} | {finding.protocol} "
+            f"| {finding.rule_id} | {message} |"
+        )
+    witnesses = [f for f in ordered if f.witness]
+    if witnesses:
+        lines.append("")
+        lines.append("## Witnesses")
+        for finding in witnesses:
+            lines.append("")
+            lines.append(f"* `{finding.protocol}` / `{finding.rule_id}`:")
+            lines.append(f"  {finding.witness}")
+    return "\n".join(lines)

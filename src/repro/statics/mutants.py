@@ -1,0 +1,167 @@
+"""Deliberately broken protocols: ground truth for the static passes.
+
+A verifier that has never been seen to fail is not evidence of
+anything.  These mutants plant exactly the violations the statics
+layers claim to detect, so the tests (and the ``repro lint`` acceptance
+run) can demand a nonzero exit code with a witness:
+
+* :class:`BrokenRankingSSR` -- Silent-n-state-SSR with two seeded bugs:
+  the collision bump drops the ``mod n`` (ranks escape the declared
+  ``0..n-1`` domain -- caught by the model checker's closure sweep and
+  the sanitizer's schema-escape rule), and every agent shares one
+  mutable ``scratch`` list that the transition also copies by reference
+  between participants (caught by the aliasing rule).
+* :class:`NondeterministicRankingSSR` -- Silent-n-state-SSR whose bump
+  size depends on a hidden instance call counter, so an identically
+  seeded replay of the same pair produces a different result (caught by
+  the hidden-nondeterminism / determinism rules).  The counter makes
+  detection deterministic: no flaky RNG coincidences.
+
+These classes are exported for tests and for explicit ``repro lint
+BrokenRankingSSR`` runs; the default lint target set deliberately
+excludes them, keeping the clean tree's exit code 0.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.protocols.base import RankingProtocol
+from repro.statics.schema import (
+    FieldSpec,
+    IntRange,
+    RoleSchema,
+    StateSchema,
+    register_schema,
+    scalar_schema,
+)
+
+
+@dataclass
+class BrokenAgent:
+    """State of :class:`BrokenRankingSSR`: a rank plus a scratch list."""
+
+    rank: int
+    scratch: List[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # scratch identity is the bug, not its value
+        return f"BrokenAgent(rank={self.rank})"
+
+
+class BrokenRankingSSR(RankingProtocol[BrokenAgent]):
+    """Silent-n-state-SSR with a domain escape and seeded aliasing."""
+
+    silent = True
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        #: BUG (seeded): one shared scratch buffer handed to every agent.
+        self._shared_scratch: List[int] = []
+
+    def transition(
+        self, initiator: BrokenAgent, responder: BrokenAgent, rng: random.Random
+    ) -> Tuple[BrokenAgent, BrokenAgent]:
+        if initiator.rank == responder.rank:
+            # BUG (seeded): the paper's rule is (rank + 1) mod n; dropping
+            # the mod lets ranks escape the declared domain 0..n-1.
+            responder.rank = responder.rank + 1
+        # BUG (seeded): copies the partner's structure by reference.
+        responder.scratch = initiator.scratch
+        return initiator, responder
+
+    def initial_state(self, rng: random.Random) -> BrokenAgent:
+        return BrokenAgent(rank=0, scratch=self._shared_scratch)
+
+    def random_state(self, rng: random.Random) -> BrokenAgent:
+        return BrokenAgent(rank=rng.randrange(self.n), scratch=self._shared_scratch)
+
+    def rank_of(self, state: BrokenAgent) -> Optional[int]:
+        if 0 <= state.rank < self.n:
+            return state.rank + 1
+        return None
+
+    def summarize(self, state: BrokenAgent) -> int:
+        return state.rank
+
+    def describe(self, state: BrokenAgent) -> str:
+        return f"rank={state.rank}"
+
+    def is_pair_null(self, a: BrokenAgent, b: BrokenAgent) -> bool:
+        return a.rank != b.rank
+
+    def state_count(self) -> int:
+        return self.n
+
+
+@register_schema(BrokenRankingSSR)
+def _broken_schema(protocol: BrokenRankingSSR) -> StateSchema:
+    """The schema declares what the protocol *should* do: ranks 0..n-1.
+
+    ``scratch`` is bookkeeping outside the declared space (and outside
+    the key), so enumerated states get a fresh empty list each.
+    """
+    return StateSchema(
+        "BrokenRankingSSR",
+        [
+            RoleSchema(
+                role=None,
+                fields=(FieldSpec("rank", IntRange(0, protocol.n - 1)),),
+                build=lambda rank: BrokenAgent(rank=rank),
+            )
+        ],
+    )
+
+
+class NondeterministicRankingSSR(RankingProtocol[int]):
+    """Silent-n-state-SSR with a hidden state-dependent bump size."""
+
+    silent = True
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self._calls = 0
+
+    def transition(
+        self, initiator: int, responder: int, rng: random.Random
+    ) -> Tuple[int, int]:
+        #: BUG (seeded): hidden mutable instance state steers the
+        #: transition, so identical (pair, RNG seed) inputs replay
+        #: differently -- exactly what "deterministic function of the
+        #: pair" forbids.
+        self._calls += 1
+        if initiator == responder:
+            bump = 1 if self._calls % 2 == 0 else 2
+            return initiator, (responder + bump) % self.n
+        return initiator, responder
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def random_state(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+    def rank_of(self, state: int) -> Optional[int]:
+        return state + 1
+
+    def summarize(self, state: int) -> int:
+        return state
+
+    def describe(self, state: int) -> str:
+        return f"rank={state}"
+
+    def is_pair_null(self, a: int, b: int) -> bool:
+        return a != b
+
+    def state_count(self) -> int:
+        return self.n
+
+
+@register_schema(NondeterministicRankingSSR)
+def _nondeterministic_schema(protocol: NondeterministicRankingSSR) -> StateSchema:
+    return scalar_schema(
+        "NondeterministicRankingSSR",
+        FieldSpec("rank", IntRange(0, protocol.n - 1)),
+        build=lambda rank: rank,
+    )

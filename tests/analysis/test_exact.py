@@ -1,8 +1,6 @@
 """Tests for the exact Markov-chain solver, and the cross-validation of
 both simulation engines against its ground truth."""
 
-import random
-
 import pytest
 
 from repro.analysis.exact import (

@@ -32,9 +32,12 @@ from repro.protocols.sync_dictionary import SyncDictionarySSR
 
 class TestCheckers:
     def test_resolution(self):
-        assert invariant_for(SilentNStateSSR(4)).__name__ == "check_ciw"
-        assert invariant_for(OptimalSilentSSR(4)).__name__ == "check_optimal_silent"
-        assert invariant_for(SublinearTimeSSR(4, h=1)).__name__ == "check_sublinear"
+        # Resolution is schema-driven: every registered protocol gets the
+        # generic schema-validating checker, and subclasses resolve via
+        # the registry's MRO walk.
+        assert invariant_for(SilentNStateSSR(4)).__name__ == "check_schema"
+        assert invariant_for(OptimalSilentSSR(4)).__name__ == "check_schema"
+        assert invariant_for(SublinearTimeSSR(4, h=1)).__name__ == "check_schema"
         with pytest.raises(KeyError):
 
             class Foreign(SilentNStateSSR):

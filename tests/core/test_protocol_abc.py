@@ -10,7 +10,6 @@ from repro.core.errors import (
     SimulationLimitError,
 )
 from repro.core.protocol import PopulationProtocol, check_population
-from repro.protocols.base import RankingProtocol
 from repro.protocols.cai_izumi_wada import SilentNStateSSR
 from repro.protocols.sync_dictionary import SyncDictionarySSR
 

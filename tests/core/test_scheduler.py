@@ -1,6 +1,5 @@
 """Tests for repro.core.scheduler."""
 
-import random
 from collections import Counter
 
 import pytest

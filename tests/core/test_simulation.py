@@ -1,7 +1,5 @@
 """Tests for repro.core.simulation and the monitor callback contract."""
 
-import random
-
 import pytest
 
 from repro.core.errors import ConfigurationError, SimulationLimitError

@@ -13,7 +13,6 @@ import math
 import pytest
 
 from repro.core.adversary import adversarial_battery
-from repro.core.configuration import is_silent
 from repro.core.rng import make_rng
 from repro.core.simulation import Simulation
 from repro.experiments.common import measure_convergence

@@ -7,7 +7,7 @@ from repro.protocols.sublinear.consistency import (
     INCONSISTENT,
     check_path_consistency,
 )
-from repro.protocols.sublinear.history_tree import HistoryTree, TreeEdge
+from repro.protocols.sublinear.history_tree import HistoryTree
 
 
 def leaf(name):

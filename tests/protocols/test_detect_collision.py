@@ -2,8 +2,6 @@
 
 from dataclasses import dataclass, field
 
-import pytest
-
 from repro.core.rng import make_rng
 from repro.protocols.parameters import calibrated_sublinear
 from repro.protocols.sublinear.detect_collision import (

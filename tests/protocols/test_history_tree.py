@@ -1,6 +1,5 @@
 """Tests for the history-tree data structure (Section 5.2)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

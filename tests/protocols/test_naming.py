@@ -1,7 +1,5 @@
 """Tests for the naming problem and the ranking => naming => SSLE hierarchy."""
 
-import pytest
-
 from repro.core.rng import make_rng
 from repro.core.simulation import Simulation
 from repro.protocols.cai_izumi_wada import SilentNStateSSR

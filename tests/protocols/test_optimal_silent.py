@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.configuration import is_silent
 from repro.core.rng import make_rng
-from repro.core.scheduler import ScriptedScheduler
 from repro.core.simulation import Simulation
 from repro.protocols.optimal_silent import (
     FOLLOWER,

@@ -4,9 +4,6 @@ import pytest
 
 from repro.core.configuration import is_silent
 from repro.core.errors import NotSilentError
-from repro.core.rng import make_rng
-from repro.core.scheduler import ScriptedScheduler
-from repro.core.simulation import Simulation
 from repro.protocols.parameters import calibrated_sublinear
 from repro.protocols.sublinear.history_tree import HistoryTree
 from repro.protocols.sublinear.names import fresh_unique_names

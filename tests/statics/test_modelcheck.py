@@ -1,0 +1,116 @@
+"""Tests for the small-n exhaustive model checker.
+
+The positive direction: the paper's protocols are certified at n = 2..4
+(the acceptance criterion for ``repro lint``).  The negative direction:
+the seeded mutants are caught with witnesses, and graph rules refuse to
+run over a broken pair table.
+"""
+
+import pytest
+
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+from repro.protocols.loose_stabilization import LooselyStabilizingLE
+from repro.protocols.optimal_silent import OptimalSilentSSR
+from repro.protocols.parameters import OptimalSilentParameters, ResetParameters
+from repro.protocols.sublinear.protocol import SublinearTimeSSR
+from repro.statics.modelcheck import (
+    ALL_RULES,
+    GRAPH_RULES,
+    RULE_CLOSURE,
+    RULE_DETERMINISM,
+    RULE_SILENCE,
+    RULE_STABILIZATION,
+    ModelCheckError,
+    StateSpace,
+    model_check,
+)
+from repro.statics.mutants import BrokenRankingSSR, NondeterministicRankingSSR
+
+
+def tiny_optimal(n: int) -> OptimalSilentSSR:
+    params = OptimalSilentParameters(reset=ResetParameters(r_max=2, d_max=2), e_max=2)
+    return OptimalSilentSSR(n, params)
+
+
+def by_rule(outcomes):
+    return {outcome.rule_id: outcome for outcome in outcomes}
+
+
+class TestStateSpace:
+    def test_enumeration_matches_state_count(self):
+        space = StateSpace(SilentNStateSSR(3))
+        assert len(space.states) == 3
+        assert space.pair_table_complete
+        assert len(space.pairs) == 9
+
+    def test_configurations_are_multisets(self):
+        space = StateSpace(SilentNStateSSR(2))
+        configs = space.configurations()
+        # multisets of size 2 over 2 states: (0,0), (0,1), (1,1)
+        assert configs == [(0, 0), (0, 1), (1, 1)]
+
+    def test_ordered_pairs_need_multiplicity(self):
+        space = StateSpace(SilentNStateSSR(2))
+        # Two agents in the same state: only that self-pair is schedulable.
+        assert space.ordered_pairs((0, 0)) == {(0, 0)}
+        assert space.ordered_pairs((0, 1)) == {(0, 1), (1, 0)}
+
+    def test_non_enumerable_schema_refused(self):
+        with pytest.raises(ModelCheckError):
+            StateSpace(SublinearTimeSSR(3))
+
+    def test_state_cap_enforced(self):
+        with pytest.raises(ModelCheckError):
+            StateSpace(SilentNStateSSR(4), max_states=3)
+
+
+class TestCertification:
+    """The acceptance criterion: both paper protocols certify at n=2..4."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_silent_n_state_fully_certified(self, n):
+        outcomes = by_rule(model_check(SilentNStateSSR(n)))
+        assert set(outcomes) == set(ALL_RULES)
+        failed = [o.rule_id for o in outcomes.values() if not o.passed]
+        assert not failed, failed
+        assert "probability-1 stabilization" in outcomes[RULE_STABILIZATION].detail
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_optimal_silent_fully_certified(self, n):
+        outcomes = by_rule(model_check(tiny_optimal(n)))
+        assert set(outcomes) == set(ALL_RULES)
+        failed = [o.rule_id for o in outcomes.values() if not o.passed]
+        assert not failed, failed
+
+    def test_loose_stabilization_pair_rules(self):
+        # Not silent: graph rules are not selected by default.
+        outcomes = by_rule(model_check(LooselyStabilizingLE(3, t_max=3)))
+        assert RULE_SILENCE not in outcomes
+        assert outcomes[RULE_CLOSURE].passed
+        assert outcomes[RULE_DETERMINISM].passed
+
+
+class TestMutantsAreCaught:
+    def test_broken_ranking_fails_closure_with_witness(self):
+        outcomes = by_rule(model_check(BrokenRankingSSR(3)))
+        closure = outcomes[RULE_CLOSURE]
+        assert not closure.passed
+        assert closure.witnesses, "closure failure must carry a witness pair"
+        assert any("outside 0..2" in w for w in closure.witnesses)
+
+    def test_broken_ranking_graph_rules_skipped(self):
+        outcomes = by_rule(model_check(BrokenRankingSSR(3)))
+        for rule_id in GRAPH_RULES:
+            assert not outcomes[rule_id].passed
+            assert "pair table incomplete" in outcomes[rule_id].detail
+
+    def test_nondeterministic_ranking_fails_determinism(self):
+        outcomes = by_rule(model_check(NondeterministicRankingSSR(3)))
+        determinism = outcomes[RULE_DETERMINISM]
+        assert not determinism.passed
+        assert determinism.witnesses
+        assert any("differs on replay" in w for w in determinism.witnesses)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            model_check(SilentNStateSSR(2), rules=["no-such-rule"])

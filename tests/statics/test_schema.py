@@ -1,0 +1,177 @@
+"""Tests for the declarative state-schema layer.
+
+Domains, field specs, constraints, enumeration, and the registry's
+MRO-walk resolution -- the vocabulary every other statics pass builds on.
+"""
+
+import pytest
+
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+from repro.protocols.direct_collision import DirectCollisionSSR
+from repro.protocols.optimal_silent import OptimalSilentAgent, OptimalSilentSSR, Role
+from repro.protocols.parameters import OptimalSilentParameters, ResetParameters
+from repro.statics.schema import (
+    Anything,
+    NotEnumerableError,
+    SchemaError,
+    Choice,
+    Const,
+    FieldSpec,
+    IntRange,
+    NonNegativeInt,
+    Predicate,
+    has_schema,
+    register_schema,
+    scalar_schema,
+    schema_for,
+)
+
+
+def tiny_params() -> OptimalSilentParameters:
+    return OptimalSilentParameters(reset=ResetParameters(r_max=2, d_max=2), e_max=2)
+
+
+class TestDomains:
+    def test_int_range(self):
+        domain = IntRange(0, 3)
+        assert domain.contains(0) and domain.contains(3)
+        assert not domain.contains(-1) and not domain.contains(4)
+        assert not domain.contains(True)  # bools are not ranks
+        assert not domain.contains("1")
+        assert list(domain.values()) == [0, 1, 2, 3]
+        assert domain.describe() == "0..3"
+
+    def test_int_range_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            IntRange(3, 2)
+
+    def test_choice_uses_identity_then_equality(self):
+        domain = Choice((Role.SETTLED, Role.UNSETTLED))
+        assert domain.contains(Role.SETTLED)
+        assert not domain.contains(Role.RESETTING)
+        assert list(domain.values()) == [Role.SETTLED, Role.UNSETTLED]
+
+    def test_const(self):
+        domain = Const(0)
+        assert domain.contains(0) and not domain.contains(1)
+        assert list(domain.values()) == [0]
+
+    def test_predicate_not_enumerable(self):
+        domain = Predicate(lambda v: isinstance(v, str), "a string")
+        assert domain.contains("x") and not domain.contains(3)
+        assert not domain.enumerable
+        assert domain.describe() == "a string"
+
+    def test_non_negative_and_anything(self):
+        assert NonNegativeInt().contains(7)
+        assert not NonNegativeInt().contains(-1)
+        assert Anything().contains(object())
+        assert not Anything().enumerable
+
+
+class TestFieldSpec:
+    def test_violation_message_uses_label(self):
+        spec = FieldSpec("rank", IntRange(1, 4), label="settled rank")
+        assert spec.violation(9) == "settled rank 9 outside 1..4"
+
+    def test_violation_message_defaults_to_name(self):
+        spec = FieldSpec("timer", IntRange(0, 2))
+        assert spec.violation(-1) == "timer -1 outside 0..2"
+
+
+class TestScalarSchema:
+    def test_exact_ciw_message(self):
+        # The historical hand-written checker's exact message is part of
+        # the schema contract (tests and logs depend on it).
+        schema = schema_for(SilentNStateSSR(3))
+        assert schema.validate(99) == ["rank 99 outside 0..2"]
+        assert schema.validate(0) == []
+        assert schema.is_valid(2)
+
+    def test_enumeration_and_count(self):
+        schema = schema_for(SilentNStateSSR(4))
+        states = schema.enumerate_states()
+        assert states == [0, 1, 2, 3]
+        assert schema.declared_state_count() == 4
+        assert len({schema.key(s) for s in states}) == 4
+
+
+class TestRoleSchemas:
+    def test_optimal_silent_roles_and_constraints(self):
+        protocol = OptimalSilentSSR(4, tiny_params())
+        schema = schema_for(protocol)
+        clean = OptimalSilentAgent(role=Role.SETTLED, rank=2, children=1)
+        assert schema.validate(clean) == []
+        # Field domain violation with the declared label.
+        bad_rank = OptimalSilentAgent(role=Role.SETTLED, rank=9, children=0)
+        assert any("settled rank 9" in p for p in schema.validate(bad_rank))
+        # Constraint violation: an unsettled agent must zero settled fields.
+        leaked = OptimalSilentAgent(role=Role.UNSETTLED, rank=3, errorcount=0)
+        assert any(
+            "unsettled agent leaked settled fields" in p
+            for p in schema.validate(leaked)
+        )
+
+    def test_unknown_role(self):
+        protocol = OptimalSilentSSR(4, tiny_params())
+        schema = schema_for(protocol)
+        problems = schema.validate(object())
+        assert problems and "unknown role" in problems[0]
+
+    def test_enumeration_matches_closed_form(self):
+        params = tiny_params()
+        for n in (2, 3, 4):
+            protocol = OptimalSilentSSR(n, params)
+            schema = schema_for(protocol)
+            assert schema.declared_state_count() == protocol.state_count()
+
+    def test_keys_are_unique(self):
+        protocol = OptimalSilentSSR(3, tiny_params())
+        schema = schema_for(protocol)
+        states = schema.enumerate_states()
+        assert len({schema.key(s) for s in states}) == len(states)
+
+
+class TestRegistry:
+    def test_subclass_resolves_via_mro(self):
+        # DirectCollisionSSR registers no schema of its own; it inherits
+        # SublinearTimeSSR's through the registry's MRO walk.
+        import random
+
+        protocol = DirectCollisionSSR(4)
+        assert has_schema(protocol)
+        schema = schema_for(protocol)
+        assert schema.validate(protocol.initial_state(random.Random(0))) == []
+
+    def test_unregistered_type_raises_keyerror(self):
+        class Unregistered:
+            pass
+
+        assert not has_schema(Unregistered())
+        with pytest.raises(KeyError):
+            schema_for(Unregistered())
+
+    def test_register_decorator(self):
+        class Toy:
+            n = 2
+
+        @register_schema(Toy)
+        def _toy_schema(protocol):
+            return scalar_schema(
+                "Toy",
+                FieldSpec("value", IntRange(0, protocol.n - 1)),
+                build=lambda value: value,
+            )
+
+        assert has_schema(Toy())
+        assert schema_for(Toy()).enumerate_states() == [0, 1]
+
+
+class TestNonEnumerable:
+    def test_roster_protocols_are_not_enumerable(self):
+        from repro.protocols.sublinear.protocol import SublinearTimeSSR
+
+        schema = schema_for(SublinearTimeSSR(4))
+        assert not schema.enumerable
+        with pytest.raises(NotEnumerableError):
+            schema.enumerate_states()
