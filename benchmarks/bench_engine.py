@@ -2,13 +2,29 @@
 
 These quantify the simulator itself: interactions/second of the generic
 sequential engine on each protocol, effective interactions/second of the
-exact-jump fast path, and the history-tree operations that dominate
-Sublinear-Time-SSR's cost.  They are the numbers that justify the
-fast-path design (see DESIGN.md, "repro_why" note).
+exact-jump fast path and the count-based engine, and the history-tree
+operations that dominate Sublinear-Time-SSR's cost.  They are the
+numbers that justify the fast-path design (see DESIGN.md, "repro_why"
+note, and docs/performance.md).
+
+Two entry points:
+
+* ``pytest benchmarks/ --benchmark-only`` — full pytest-benchmark run.
+* ``python benchmarks/bench_engine.py --json BENCH_engine.json`` — quick
+  smoke (single timed pass per cell) that records interactions/second
+  per engine and the count/generic speedup ratio; CI runs this and
+  fails if the count engine falls below 50x the generic engine on
+  SilentNStateSSR at n=1024.
 """
+
+import argparse
+import json
+import sys
+import time
 
 import pytest
 
+from repro.core.countsim import CountSimulation
 from repro.core.fastpath import CiwJumpSimulator, worst_case_ciw_counts
 from repro.core.rng import make_rng
 from repro.core.simulation import Simulation
@@ -19,6 +35,8 @@ from repro.protocols.sublinear.detect_collision import find_collision, merge_his
 from repro.protocols.sublinear.protocol import SublinearTimeSSR
 
 STEPS = 20_000
+SMOKE_SEED = 1234
+MIN_COUNT_SPEEDUP = 50.0
 
 
 @pytest.mark.benchmark(group="engine-throughput")
@@ -57,6 +75,33 @@ def test_fastpath_effective_interactions(benchmark, seed):
     assert interactions > 10_000_000  # Theta(n^3) accounted in milliseconds
 
 
+def _count_engine_convergence(n: int, seed: int) -> int:
+    """Run the count engine to silence from the CIW worst case."""
+    protocol = SilentNStateSSR(n)
+    states = protocol.counts_to_configuration(worst_case_ciw_counts(n))
+    sim = CountSimulation(
+        protocol, states, rng=make_rng(seed, "count-eng", n), mode="jump"
+    )
+    sim.run_until_silent()
+    return sim.interactions
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_count_engine_ciw_1024(benchmark, seed):
+    """Count engine accounts Theta(n^3) interactions from the worst case."""
+    interactions = benchmark(_count_engine_convergence, 1024, seed)
+    assert interactions > 100_000_000
+
+
+@pytest.mark.benchmark(group="engine-throughput")
+def test_count_engine_ciw_8192(benchmark, seed):
+    """Large-n cell; cost is dominated by one-time pair classification."""
+    interactions = benchmark.pedantic(
+        _count_engine_convergence, args=(8192, seed), rounds=1, iterations=1
+    )
+    assert interactions > 10_000_000_000
+
+
 @pytest.mark.benchmark(group="tree-ops")
 def test_history_tree_merge_cost(benchmark, seed):
     """Steady-state Protocol 7 merges on well-grown depth-2 trees."""
@@ -83,3 +128,103 @@ def test_history_tree_merge_cost(benchmark, seed):
             merge_histories(agents[i], agents[j], params, rng)
 
     benchmark(one_merge)
+
+
+# --------------------------------------------------------------------------
+# Smoke mode: quick single-pass measurements written to BENCH_engine.json.
+# --------------------------------------------------------------------------
+
+
+def _smoke_generic(n: int, steps: int, seed: int) -> dict:
+    """Time the generic agent-array engine for a fixed interaction budget."""
+    protocol = SilentNStateSSR(n)
+    rng = make_rng(seed, "smoke-generic", n)
+    sim = Simulation(protocol, protocol.random_configuration(rng), rng=rng)
+    start = time.perf_counter()
+    sim.run(steps)
+    elapsed = time.perf_counter() - start
+    return {
+        "engine": "generic",
+        "protocol": "SilentNStateSSR",
+        "n": n,
+        "interactions": sim.interactions,
+        "seconds": round(elapsed, 6),
+        "interactions_per_second": sim.interactions / elapsed,
+    }
+
+
+def _smoke_count(n: int, seed: int) -> dict:
+    """Time the count engine to silence from the CIW worst case.
+
+    The timed region includes construction (pair classification is the
+    one-time O(k^2) cost that dominates at large n), so the reported
+    rate is a conservative end-to-end figure.
+    """
+    protocol = SilentNStateSSR(n)
+    states = protocol.counts_to_configuration(worst_case_ciw_counts(n))
+    rng = make_rng(seed, "smoke-count", n)
+    start = time.perf_counter()
+    sim = CountSimulation(protocol, states, rng=rng, mode="jump")
+    sim.run_until_silent()
+    elapsed = time.perf_counter() - start
+    return {
+        "engine": "count",
+        "protocol": "SilentNStateSSR",
+        "n": n,
+        "interactions": sim.interactions,
+        "events": sim.events,
+        "seconds": round(elapsed, 6),
+        "interactions_per_second": sim.interactions / elapsed,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Quick engine-throughput smoke; writes a JSON summary."
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_engine.json",
+        help="output path for the JSON summary (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=SMOKE_SEED, help="root seed (default: %(default)s)"
+    )
+    args = parser.parse_args(argv)
+
+    cells = [
+        _smoke_generic(1024, 200_000, args.seed),
+        _smoke_count(1024, args.seed),
+        _smoke_count(8192, args.seed),
+    ]
+    generic_rate = cells[0]["interactions_per_second"]
+    count_rate = cells[1]["interactions_per_second"]
+    speedup = count_rate / generic_rate
+
+    summary = {
+        "benchmark": "engine-throughput-smoke",
+        "seed": args.seed,
+        "cells": cells,
+        "count_vs_generic_speedup_n1024": speedup,
+        "min_required_speedup": MIN_COUNT_SPEEDUP,
+        "speedup_check_passed": speedup >= MIN_COUNT_SPEEDUP,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for cell in cells:
+        print(
+            f"{cell['engine']:>7} n={cell['n']:>5}: "
+            f"{cell['interactions_per_second']:.3e} interactions/s "
+            f"({cell['interactions']:.3e} interactions in {cell['seconds']:.3f}s)"
+        )
+    print(f"count/generic speedup at n=1024: {speedup:.1f}x (required >= {MIN_COUNT_SPEEDUP:.0f}x)")
+    if speedup < MIN_COUNT_SPEEDUP:
+        print("FAIL: count engine below required speedup", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Public surface:
 * :mod:`repro.core.scheduler` -- uniform / scripted / adversarial schedulers
 * :mod:`repro.core.monitors` -- convergence and activity observers
 * :mod:`repro.core.fastpath` -- exact-jump fast simulators
+* :mod:`repro.core.countsim` -- protocol-generic count-based engine
+* :mod:`repro.core.parallel` -- process-pool trial fan-out
 * :mod:`repro.core.adversary` -- adversarial initial configurations
 """
 
@@ -23,7 +25,9 @@ from repro.core.errors import (
     ReproError,
     SimulationLimitError,
 )
+from repro.core.countsim import CountSimulation, count_engine_eligible
 from repro.core.monitors import ChangeCounter, ConvergenceMonitor, Monitor, TraceRecorder
+from repro.core.parallel import ParallelTrialRunner
 from repro.core.protocol import PopulationProtocol
 from repro.core.rng import DEFAULT_SEED, derive_seed, make_rng, trial_rngs
 from repro.core.scheduler import (
@@ -38,6 +42,9 @@ from repro.core.simulation import Simulation
 __all__ = [
     "PopulationProtocol",
     "Simulation",
+    "CountSimulation",
+    "count_engine_eligible",
+    "ParallelTrialRunner",
     "Scheduler",
     "UniformRandomScheduler",
     "ScriptedScheduler",

@@ -1,0 +1,576 @@
+"""Protocol-generic count-based simulation engine.
+
+Agents in a population protocol are anonymous and the scheduler is
+uniform, so the future of a run depends on the configuration only
+through the *multiset* of agent states.  This engine exploits that:
+
+* the configuration is a vector of counts ``{state: count}`` over the
+  distinct states seen so far (``k`` states, typically ``k << n``);
+* the interacting ordered *state pair* is sampled directly, with
+  probability proportional to ``c_a * c_b`` for ``a != b`` and
+  ``c_a * (c_a - 1)`` on the diagonal -- exactly the uniform scheduler's
+  law -- via Fenwick trees in ``O(log k)``;
+* deterministic transitions are memoized per ordered state pair: the
+  protocol's ``transition`` runs once per pair through a spy RNG, and if
+  it never consults the RNG the (state-pair -> state-pair) result is
+  replayed for free on every later occurrence;
+* for silent protocols, runs of null interactions are *batched*: once
+  the set of effective (non-null) ordered pairs is known, the number of
+  consecutive null interactions is drawn from the exact geometric law
+  with success probability ``W_eff / (n (n - 1))`` and skipped in O(1),
+  generalizing the single-protocol trick of
+  :class:`repro.core.fastpath.CiwJumpSimulator`.
+
+Every interaction the sequential engine would have scheduled is
+accounted for, so interaction counts (and hence parallel times) have
+exactly the same distribution as :class:`repro.core.simulation.Simulation`
+produces -- enforced by the distributional tests in
+``tests/core/test_countsim.py``.
+
+Eligibility is derived from the static schema registry
+(:mod:`repro.statics.schema`): the engine needs a registered schema
+whose canonical :meth:`~repro.statics.schema.StateSchema.key` is
+lossless, i.e. every declared field participates in the key.  Protocols
+carrying unhashable out-of-key structures (history trees, rosters) fall
+back to the generic engine -- see :func:`count_engine_eligible`.
+
+Modes
+-----
+``interaction``
+    One scheduler draw per interaction (two Fenwick samples), memoized
+    transitions.  Always available.
+``jump``
+    Geometric null-skipping over the effective-pair tree.  Requires a
+    silent protocol (the analytic ``is_pair_null`` predicate classifies
+    pairs).  Fast only when effective pairs are rare.
+``auto`` (default)
+    Start in ``interaction`` mode; switch one-way to ``jump`` once
+    ``max(64, n)`` consecutive interactions changed nothing -- the
+    empirical signal that null interactions dominate.  Protocols that
+    are not silent simply never switch.
+"""
+
+from __future__ import annotations
+
+import random
+from copy import deepcopy
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple, TypeVar
+
+from repro.core.errors import NotSilentError
+from repro.core.fastpath import _geometric
+from repro.core.protocol import PopulationProtocol, check_population
+from repro.statics.schema import StateSchema, has_schema, schema_for
+
+S = TypeVar("S")
+
+__all__ = [
+    "CountSimulation",
+    "GrowableFenwick",
+    "count_engine_eligible",
+]
+
+
+class GrowableFenwick:
+    """Fenwick tree over an append-only sequence of integer weights.
+
+    Same sampling contract as :class:`repro.core.fastpath.FenwickTree`
+    (``rng.randrange(total)`` followed by a bit descent, so two trees
+    holding equal weights consume identical randomness and select the
+    same index), plus ``append`` with amortized O(1) capacity doubling
+    and an O(1) running total.
+    """
+
+    __slots__ = ("_capacity", "_tree", "_weights", "_total")
+
+    def __init__(self) -> None:
+        self._capacity = 16
+        self._tree = [0] * (self._capacity + 1)
+        self._weights: List[int] = []
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def weight(self, index: int) -> int:
+        return self._weights[index]
+
+    def total(self) -> int:
+        return self._total
+
+    def append(self, weight: int) -> None:
+        if len(self._weights) == self._capacity:
+            self._grow()
+        self._weights.append(0)
+        if weight:
+            self.set(len(self._weights) - 1, weight)
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        tree = [0] * (self._capacity + 1)
+        # Linear-time construction: push each node's sum to its parent.
+        for index, weight in enumerate(self._weights):
+            pos = index + 1
+            tree[pos] += weight
+            parent = pos + (pos & (-pos))
+            if parent <= self._capacity:
+                tree[parent] += tree[pos]
+        self._tree = tree
+
+    def set(self, index: int, weight: int) -> None:
+        if weight < 0:
+            raise ValueError(f"weights must be non-negative, got {weight}")
+        delta = weight - self._weights[index]
+        if delta == 0:
+            return
+        self._weights[index] = weight
+        self._total += delta
+        tree = self._tree
+        i = index + 1
+        capacity = self._capacity
+        while i <= capacity:
+            tree[i] += delta
+            i += i & (-i)
+
+    def add(self, index: int, delta: int) -> None:
+        self.set(index, self._weights[index] + delta)
+
+    def sample(self, rng: random.Random) -> int:
+        """Sample an index with probability proportional to its weight."""
+        total = self._total
+        if total <= 0:
+            raise ValueError("cannot sample from an all-zero tree")
+        target = rng.randrange(total)
+        position = 0
+        remaining = target
+        bit = self._capacity  # power of two, covers every index
+        tree = self._tree
+        while bit > 0:
+            nxt = position + bit
+            if nxt <= self._capacity and tree[nxt] <= remaining:
+                position = nxt
+                remaining -= tree[nxt]
+            bit >>= 1
+        return position
+
+
+class _SpyRandom(random.Random):
+    """Wraps a real RNG and records whether it was ever consulted.
+
+    Every derived method of :class:`random.Random` (``randrange``,
+    ``choice``, ``shuffle``, ``gauss``, ...) bottoms out in ``random()``
+    or ``getrandbits()``, so overriding those two both forwards all
+    randomness to the wrapped RNG and detects any consumption.  Used to
+    classify a transition's behaviour on one input pair: if the spy was
+    never used, the observed result is deterministic for that pair and
+    can be memoized.
+    """
+
+    def __init__(self, inner: random.Random):
+        super().__init__()
+        self._inner = inner
+        self.used = False
+
+    def random(self) -> float:  # type: ignore[override]
+        self.used = True
+        return self._inner.random()
+
+    def getrandbits(self, k: int) -> int:  # type: ignore[override]
+        self.used = True
+        return self._inner.getrandbits(k)
+
+    def seed(self, *args: Any, **kwargs: Any) -> None:  # pragma: no cover
+        pass  # called by Random.__init__; must not touch the inner RNG
+
+    def getstate(self) -> Any:  # pragma: no cover
+        raise NotImplementedError("spy RNG state is the wrapped RNG's state")
+
+    def setstate(self, state: Any) -> None:  # pragma: no cover
+        raise NotImplementedError("spy RNG state is the wrapped RNG's state")
+
+
+def count_engine_eligible(protocol: PopulationProtocol[Any]) -> bool:
+    """Whether :class:`CountSimulation` can run ``protocol``.
+
+    Requires a registered state schema whose canonical key is lossless:
+    every declared field has ``in_key=True``, so two states with equal
+    keys are interchangeable.  Protocols with out-of-key fields (e.g.
+    the sublinear protocol's history trees) must use the generic engine.
+    """
+    if not has_schema(protocol):
+        return False
+    schema = schema_for(protocol)
+    return all(spec.in_key for role in schema.roles for spec in role.fields)
+
+
+#: Memo marker for pairs whose transition consults the RNG.
+_RANDOMIZED = None
+
+_MODES = ("auto", "interaction", "jump")
+
+
+class CountSimulation:
+    """Count-based engine, distributionally exact w.r.t. ``Simulation``.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to execute.  Must satisfy
+        :func:`count_engine_eligible`; silent protocols additionally
+        unlock the ``jump``/``auto`` fast modes.
+    states:
+        Initial configuration (``protocol.n`` agent states).  The input
+        objects are never mutated: transitions always run on deep copies
+        of slot representatives.
+    rng:
+        Source of randomness for scheduling and randomized transitions.
+    mode:
+        ``"auto"`` (default), ``"interaction"`` or ``"jump"`` -- see the
+        module docstring.
+    switch_after:
+        In ``auto`` mode, the null-gap (consecutive interactions without
+        a configuration change) that triggers the one-way switch to jump
+        mode.  Defaults to ``max(64, n)``.
+
+    Attributes
+    ----------
+    interactions:
+        Interactions accounted for so far (null + effective).
+    events:
+        Transition applications (every interaction in interaction mode;
+        only the sampled effective events in jump mode).
+    changes:
+        Interactions that changed the configuration multiset.
+    correct / streak_start / regressions:
+        Ranking-correctness bookkeeping with the exact semantics of
+        :class:`repro.core.monitors.ConvergenceMonitor` (available when
+        the protocol exposes ``rank_of``).
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol[S],
+        states: Optional[List[S]] = None,
+        *,
+        rng: random.Random,
+        mode: str = "auto",
+        switch_after: Optional[int] = None,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.protocol = protocol
+        self.rng = rng
+        if states is None:
+            states = protocol.initial_configuration(rng)
+        check_population(protocol, states)
+        schema = schema_for(protocol)  # raises KeyError when unregistered
+        lossy = [
+            spec.name
+            for role in schema.roles
+            for spec in role.fields
+            if not spec.in_key
+        ]
+        if lossy:
+            raise ValueError(
+                f"{type(protocol).__name__} schema excludes fields {lossy} from "
+                "the canonical key; the count engine needs lossless state keys "
+                "(use the generic Simulation instead)"
+            )
+        if mode == "jump" and not protocol.silent:
+            raise NotSilentError(
+                f"{type(protocol).__name__} is not silent; jump mode needs "
+                "the analytic is_pair_null predicate"
+            )
+        self._schema: StateSchema = schema
+        n = protocol.n
+        self.n = n
+        self._ordered_pairs = n * (n - 1)
+
+        # -- slot tables: one slot per distinct state key ever seen -----
+        self._slot_of_key: Dict[Hashable, int] = {}
+        self._reps: List[S] = []
+        self._counts: List[int] = []
+        self._count_tree = GrowableFenwick()
+        self._slot_rank: List[int] = []
+        self._memo: Dict[Tuple[int, int], Optional[Tuple[int, int]]] = {}
+
+        # -- ranking-correctness bookkeeping (ConvergenceMonitor semantics)
+        rank_of = getattr(protocol, "rank_of", None)
+        self._rank_of = rank_of
+        self._rank_counts: List[int] = [0] * (n + 1)
+        self._good = 0
+        self.correct = False
+        self.streak_start: Optional[int] = None
+        self.regressions = 0
+
+        # -- jump-mode structures (built lazily) ------------------------
+        self._pair_list: List[Tuple[int, int]] = []
+        self._adj: List[List[int]] = []
+        self._pair_tree = GrowableFenwick()
+
+        self.interactions = 0
+        self.events = 0
+        self.changes = 0
+        self._last_change = 0
+        self._mode = "interaction"
+        self._switching = mode == "auto" and protocol.silent
+        self._switch_after = switch_after if switch_after else max(64, n)
+
+        for state in states:
+            slot = self._slot_for_state(state)
+            self._set_count(slot, self._counts[slot] + 1)
+        self._refresh()
+        if mode == "jump":
+            self._enter_jump_mode()
+
+    # -- public surface ------------------------------------------------
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions accounted for so far, divided by ``n``."""
+        return self.interactions / self.n
+
+    @property
+    def mode(self) -> str:
+        """Current engine mode: ``"interaction"`` or ``"jump"``."""
+        return self._mode
+
+    @property
+    def silent(self) -> bool:
+        """Whether the configuration is *provably* silent.
+
+        Only jump mode maintains the effective-pair weight, so this is
+        ``False`` (i.e. "not known silent") while in interaction mode.
+        """
+        return self._mode == "jump" and self._pair_tree.total() == 0
+
+    def occupancy(self) -> Dict[Hashable, int]:
+        """Multiset of canonical state keys with non-zero counts."""
+        keys = {slot: key for key, slot in self._slot_of_key.items()}
+        return {
+            keys[slot]: count
+            for slot, count in enumerate(self._counts)
+            if count > 0
+        }
+
+    def expand_states(self) -> List[S]:
+        """Materialize an agent-state list (deep copies, arbitrary order)."""
+        out: List[S] = []
+        for slot, count in enumerate(self._counts):
+            for _ in range(count):
+                out.append(deepcopy(self._reps[slot]))
+        return out
+
+    def correct_streak(self, current_step: int) -> int:
+        """Length (in interactions) of the current correct streak."""
+        if not self.correct or self.streak_start is None:
+            return 0
+        return current_step - self.streak_start
+
+    def run(self, interactions: int) -> None:
+        """Account for up to ``interactions`` further interactions.
+
+        Returns early if the configuration becomes provably silent --
+        every remaining interaction would be null, so callers needing
+        the full budget on their clock may simply add it (the engine
+        does not, keeping ``interactions`` at the point silence was
+        established).
+        """
+        deadline = self.interactions + interactions
+        rng = self.rng
+        while self.interactions < deadline:
+            if self._mode == "jump":
+                tree = self._pair_tree
+                weight = tree.total()
+                if weight == 0:
+                    return  # silent: all remaining interactions are null
+                p = weight / self._ordered_pairs
+                nxt = self.interactions + _geometric(rng, p) + 1
+                if nxt > deadline:
+                    # The next effective event falls beyond the budget;
+                    # exact by memorylessness of the geometric law.
+                    self.interactions = deadline
+                    return
+                self.interactions = nxt
+                self.events += 1
+                si, sj = self._pair_list[tree.sample(rng)]
+                self._interact(si, sj)
+            else:
+                self._interaction_step()
+                if (
+                    self._switching
+                    and self.interactions - self._last_change >= self._switch_after
+                ):
+                    self._enter_jump_mode()
+
+    def run_until_silent(self, *, max_interactions: Optional[int] = None) -> bool:
+        """Run until provably silent; ``False`` if the budget ran out first.
+
+        Requires a silent protocol (``auto``/``jump`` mode).  With no
+        budget the call runs to convergence, which a silent protocol
+        reaches with probability 1.
+        """
+        if not self.protocol.silent:
+            raise NotSilentError(
+                f"{type(self.protocol).__name__} is not silent"
+            )
+        while True:
+            if self.silent:
+                return True
+            if max_interactions is not None and self.interactions >= max_interactions:
+                return False
+            budget = (
+                max_interactions - self.interactions
+                if max_interactions is not None
+                else 1 << 62
+            )
+            self.run(budget)
+
+    # -- slots ---------------------------------------------------------
+
+    def _slot_for_state(self, state: S) -> int:
+        key = self._schema.key(state)
+        slot = self._slot_of_key.get(key)
+        if slot is None:
+            slot = len(self._reps)
+            self._slot_of_key[key] = slot
+            self._reps.append(state)
+            self._counts.append(0)
+            self._count_tree.append(0)
+            self._adj.append([])
+            rank = 0
+            if self._rank_of is not None:
+                r = self._rank_of(state)
+                if isinstance(r, int) and 1 <= r <= self.n:
+                    rank = r
+            self._slot_rank.append(rank)
+            if self._mode == "jump":
+                self._classify_slot(slot)
+        return slot
+
+    def _set_count(self, slot: int, new: int) -> None:
+        old = self._counts[slot]
+        self._counts[slot] = new
+        self._count_tree.set(slot, new)
+        rank = self._slot_rank[slot]
+        if rank:
+            rank_counts = self._rank_counts
+            prev = rank_counts[rank]
+            cur = prev + (new - old)
+            rank_counts[rank] = cur
+            if prev == 1:
+                self._good -= 1
+            if cur == 1:
+                self._good += 1
+
+    def _refresh(self) -> None:
+        now_correct = self._good == self.n
+        if now_correct and not self.correct:
+            self.streak_start = self.interactions
+        elif self.correct and not now_correct:
+            self.streak_start = None
+            self.regressions += 1
+        self.correct = now_correct
+
+    # -- stepping ------------------------------------------------------
+
+    def _interaction_step(self) -> None:
+        tree = self._count_tree
+        rng = self.rng
+        si = tree.sample(rng)
+        tree.add(si, -1)  # the responder is a *different* agent
+        sj = tree.sample(rng)
+        tree.add(si, +1)
+        self.interactions += 1
+        self.events += 1
+        self._interact(si, sj)
+
+    def _interact(self, si: int, sj: int) -> None:
+        entry = self._memo.get((si, sj), False)
+        if entry is False:
+            # First occurrence of this ordered state pair: probe it.
+            initiator = deepcopy(self._reps[si])
+            responder = deepcopy(self._reps[sj])
+            spy = _SpyRandom(self.rng)
+            out_a, out_b = self.protocol.transition(initiator, responder, spy)
+            ta = self._slot_for_state(out_a)
+            tb = self._slot_for_state(out_b)
+            self._memo[(si, sj)] = _RANDOMIZED if spy.used else (ta, tb)
+        elif entry is _RANDOMIZED:
+            initiator = deepcopy(self._reps[si])
+            responder = deepcopy(self._reps[sj])
+            out_a, out_b = self.protocol.transition(initiator, responder, self.rng)
+            ta = self._slot_for_state(out_a)
+            tb = self._slot_for_state(out_b)
+        else:
+            ta, tb = entry  # type: ignore[misc]
+        self._apply(si, sj, ta, tb)
+
+    def _apply(self, si: int, sj: int, ta: int, tb: int) -> None:
+        if (ta == si and tb == sj) or (ta == sj and tb == si):
+            return  # multiset unchanged: null in effect
+        delta: Dict[int, int] = {}
+        delta[si] = delta.get(si, 0) - 1
+        delta[sj] = delta.get(sj, 0) - 1
+        delta[ta] = delta.get(ta, 0) + 1
+        delta[tb] = delta.get(tb, 0) + 1
+        changed = [slot for slot, d in delta.items() if d]
+        if not changed:
+            return
+        counts = self._counts
+        for slot in changed:
+            self._set_count(slot, counts[slot] + delta[slot])
+        if self._mode == "jump":
+            seen: Set[int] = set()
+            pair_list = self._pair_list
+            pair_tree = self._pair_tree
+            for slot in changed:
+                for pidx in self._adj[slot]:
+                    if pidx in seen:
+                        continue
+                    seen.add(pidx)
+                    i, j = pair_list[pidx]
+                    ci = counts[i]
+                    weight = ci * (ci - 1) if i == j else ci * counts[j]
+                    pair_tree.set(pidx, weight)
+        self.changes += 1
+        self._last_change = self.interactions
+        self._refresh()
+
+    # -- jump mode -----------------------------------------------------
+
+    def _enter_jump_mode(self) -> None:
+        """Classify every ordered slot pair and switch to jump mode.
+
+        O(k^2) ``is_pair_null`` queries over the ``k`` slots seen so
+        far; each pair is classified exactly once because later slots
+        classify themselves against all earlier ones on creation.
+        """
+        self._mode = "jump"
+        for slot in range(len(self._reps)):
+            self._classify_slot(slot)
+
+    def _classify_slot(self, m: int) -> None:
+        is_pair_null = self.protocol.is_pair_null
+        reps = self._reps
+        a = reps[m]
+        for j in range(m + 1):
+            if j == m:
+                if not is_pair_null(a, a):
+                    self._register_pair(m, m)
+            else:
+                b = reps[j]
+                if not is_pair_null(a, b):
+                    self._register_pair(m, j)
+                if not is_pair_null(b, a):
+                    self._register_pair(j, m)
+
+    def _register_pair(self, i: int, j: int) -> None:
+        pidx = len(self._pair_list)
+        self._pair_list.append((i, j))
+        self._adj[i].append(pidx)
+        if j != i:
+            self._adj[j].append(pidx)
+        counts = self._counts
+        ci = counts[i]
+        weight = ci * (ci - 1) if i == j else ci * counts[j]
+        self._pair_tree.append(weight)

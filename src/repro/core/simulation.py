@@ -60,6 +60,11 @@ class Simulation(Generic[S]):
         self.states: List[S] = list(states)
         self.scheduler = scheduler or UniformRandomScheduler(protocol.n)
         self.monitors = list(monitors)
+        # Hoisted once: the notification loops dominate the per-step cost
+        # of monitor-less runs otherwise.  Attach monitors at
+        # construction time; mutating ``self.monitors`` afterwards is
+        # unsupported.
+        self._has_monitors = bool(self.monitors)
         self.interactions = 0
         for monitor in self.monitors:
             monitor.on_start(self.states)
@@ -76,14 +81,20 @@ class Simulation(Generic[S]):
         i, j = self.scheduler.next_pair(self.rng)
         states = self.states
         step = self.interactions
-        for monitor in self.monitors:
-            monitor.before_step(step, i, j, states[i], states[j])
-        new_i, new_j = self.protocol.transition(states[i], states[j], self.rng)
-        states[i] = new_i
-        states[j] = new_j
-        self.interactions = step + 1
-        for monitor in self.monitors:
-            monitor.after_step(step + 1, i, j, new_i, new_j)
+        if self._has_monitors:
+            for monitor in self.monitors:
+                monitor.before_step(step, i, j, states[i], states[j])
+            new_i, new_j = self.protocol.transition(states[i], states[j], self.rng)
+            states[i] = new_i
+            states[j] = new_j
+            self.interactions = step + 1
+            for monitor in self.monitors:
+                monitor.after_step(step + 1, i, j, new_i, new_j)
+        else:
+            new_i, new_j = self.protocol.transition(states[i], states[j], self.rng)
+            states[i] = new_i
+            states[j] = new_j
+            self.interactions = step + 1
 
     def run(self, interactions: int) -> None:
         """Execute exactly ``interactions`` steps (fewer if a script ends)."""
@@ -98,15 +109,21 @@ class Simulation(Generic[S]):
         predicate: Callable[["Simulation[S]"], bool],
         *,
         max_interactions: int,
-        check_every: int = 1,
+        check_every: Optional[int] = None,
     ) -> int:
         """Run until ``predicate(self)`` holds; return the interaction count.
 
         The predicate is evaluated before the first step and then every
-        ``check_every`` interactions.  Raises
+        ``check_every`` interactions.  ``check_every`` defaults to
+        ``max(1, n)`` -- one unit of parallel time -- because predicates
+        are typically O(n) scans and polling them every interaction
+        turns an O(T) run into O(n T); pass ``check_every=1`` when the
+        exact first-hit interaction matters.  Raises
         :class:`~repro.core.errors.SimulationLimitError` if the budget is
         exhausted first.
         """
+        if check_every is None:
+            check_every = max(1, self.protocol.n)
         if check_every < 1:
             raise ValueError(f"check_every must be >= 1, got {check_every}")
         deadline = self.interactions + max_interactions

@@ -20,7 +20,7 @@ import time
 from typing import List, Optional
 
 from repro.core.rng import DEFAULT_SEED
-from repro.experiments.registry import all_experiments, get_experiment
+from repro.experiments.registry import all_experiments, run_experiment
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="smaller sizes/trial counts (what CI and the benchmarks use)",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent trials out over N worker processes "
+        "(experiments that support it; results are bit-identical)",
     )
     run_parser.add_argument(
         "-o",
@@ -98,10 +106,10 @@ def _run_one(
     quick: bool,
     output: Optional[str],
     csv_dir: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> bool:
-    runner = get_experiment(experiment_id)
     started = time.time()
-    report = runner(seed=seed, quick=quick)
+    report = run_experiment(experiment_id, seed=seed, quick=quick, workers=workers)
     elapsed = time.time() - started
     if csv_dir:
         from repro.experiments.results import write_artifacts
@@ -146,7 +154,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     ok = True
     for experiment_id in targets:
         ok = (
-            _run_one(experiment_id, args.seed, args.quick, args.output, args.csv)
+            _run_one(
+                experiment_id,
+                args.seed,
+                args.quick,
+                args.output,
+                args.csv,
+                args.workers,
+            )
             and ok
         )
     return 0 if ok else 1

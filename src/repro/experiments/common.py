@@ -19,15 +19,20 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.analysis.stats import TrialSummary, summarize_trials
 from repro.core.configuration import is_silent
-from repro.core.rng import make_rng
+from repro.core.countsim import CountSimulation, count_engine_eligible
+from repro.core.parallel import ParallelTrialRunner
 from repro.core.simulation import Simulation
 from repro.protocols.base import RankingProtocol
 
 S = TypeVar("S")
+
+#: Engine choices accepted by :func:`measure_convergence`.
+ENGINES = ("auto", "generic", "count")
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,7 @@ def measure_convergence(
     max_time: float,
     confirm_time: Optional[float] = None,
     probe_silence: Optional[bool] = None,
+    engine: str = "auto",
 ) -> ConvergenceOutcome:
     """Measure the stabilization time of one run.
 
@@ -69,12 +75,34 @@ def measure_convergence(
     probe_silence:
         Whether to attempt exact certification through silence checks;
         defaults to ``protocol.silent``.
+    engine:
+        ``"auto"`` (default) picks the count-based engine
+        (:class:`repro.core.countsim.CountSimulation`) when the protocol
+        is silent, silence probing is enabled, and the protocol's schema
+        admits lossless state keys (:func:`count_engine_eligible`);
+        otherwise the generic agent-array engine runs.  ``"generic"``
+        and ``"count"`` force one side.  Both engines produce the same
+        outcome *distribution* (enforced by the equivalence tests), but
+        per-seed trajectories differ, so comparisons across engines must
+        be distributional.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     n = protocol.n
-    monitor = protocol.convergence_monitor()
-    sim = Simulation(protocol, states, rng=rng, monitors=[monitor])
     if probe_silence is None:
         probe_silence = protocol.silent
+    use_count = engine == "count" or (
+        engine == "auto"
+        and probe_silence
+        and protocol.silent
+        and count_engine_eligible(protocol)
+    )
+    if use_count:
+        return _measure_convergence_counted(
+            protocol, states, rng=rng, max_time=max_time
+        )
+    monitor = protocol.convergence_monitor()
+    sim = Simulation(protocol, states, rng=rng, monitors=[monitor])
     if confirm_time is None:
         confirm_time = 30.0 + 20.0 * math.log(n)
     max_interactions = int(max_time * n)
@@ -115,6 +143,74 @@ def measure_convergence(
             sim.step()
 
 
+def _measure_convergence_counted(
+    protocol: RankingProtocol[S],
+    states: Sequence[S],
+    *,
+    rng: random.Random,
+    max_time: float,
+) -> ConvergenceOutcome:
+    """Count-engine measurement path: exact silence-certified outcomes.
+
+    A silent protocol stabilizes exactly when it is correct and silent,
+    so the measurement is simply "run until provably silent"; the
+    confirmation-window machinery never applies here.
+    """
+    n = protocol.n
+    sim = CountSimulation(protocol, list(states), rng=rng)
+    max_interactions = int(max_time * n)
+    # Match the generic path's time-zero probe: an initially silent and
+    # correct configuration stabilized at time 0 regardless of budget.
+    if sim.correct and is_silent(protocol, states):
+        return ConvergenceOutcome(
+            n=n,
+            converged=True,
+            convergence_time=0.0,
+            interactions=0,
+            silent_certified=True,
+            regressions=0,
+        )
+    converged = sim.run_until_silent(max_interactions=max_interactions)
+    if converged and sim.correct:
+        return ConvergenceOutcome(
+            n=n,
+            converged=True,
+            convergence_time=(sim.streak_start or 0) / n,
+            interactions=sim.interactions,
+            silent_certified=True,
+            regressions=sim.regressions,
+        )
+    return ConvergenceOutcome(
+        n=n,
+        converged=False,
+        convergence_time=float("nan"),
+        interactions=max_interactions,
+        silent_certified=False,
+        regressions=sim.regressions,
+    )
+
+
+def _convergence_trial(
+    make_protocol: Callable[[], RankingProtocol[S]],
+    make_states: Callable[[RankingProtocol[S], random.Random], Sequence[S]],
+    max_time: float,
+    confirm_time: Optional[float],
+    engine: str,
+    rng: random.Random,
+) -> ConvergenceOutcome:
+    """One trial of :func:`repeat_convergence` (top-level: picklable)."""
+    protocol = make_protocol()
+    states = make_states(protocol, rng)
+    return measure_convergence(
+        protocol,
+        states,
+        rng=rng,
+        max_time=max_time,
+        confirm_time=confirm_time,
+        engine=engine,
+    )
+
+
 def repeat_convergence(
     make_protocol: Callable[[], RankingProtocol[S]],
     make_states: Callable[[RankingProtocol[S], random.Random], Sequence[S]],
@@ -124,27 +220,24 @@ def repeat_convergence(
     trials: int,
     max_time: float,
     confirm_time: Optional[float] = None,
+    engine: str = "auto",
+    runner: Optional[ParallelTrialRunner] = None,
 ) -> List[ConvergenceOutcome]:
     """Run ``trials`` independent stabilization measurements.
 
     Each trial gets an independent RNG derived from ``(seed, label, i)``,
-    a fresh protocol instance and a fresh initial configuration.
+    a fresh protocol instance and a fresh initial configuration.  A
+    :class:`~repro.core.parallel.ParallelTrialRunner` fans trials out
+    over worker processes with bit-identical results (the per-trial RNG
+    derivation is unchanged); with picklability caveats, see
+    :mod:`repro.core.parallel`.
     """
-    outcomes: List[ConvergenceOutcome] = []
-    for index in range(trials):
-        rng = make_rng(seed, label, index)
-        protocol = make_protocol()
-        states = make_states(protocol, rng)
-        outcomes.append(
-            measure_convergence(
-                protocol,
-                states,
-                rng=rng,
-                max_time=max_time,
-                confirm_time=confirm_time,
-            )
-        )
-    return outcomes
+    task = partial(
+        _convergence_trial, make_protocol, make_states, max_time, confirm_time, engine
+    )
+    return (runner or ParallelTrialRunner()).map_trials(
+        task, seed=seed, labels=(label,), trials=trials
+    )
 
 
 def convergence_times(outcomes: Sequence[ConvergenceOutcome]) -> List[float]:

@@ -7,7 +7,8 @@ stays cheap and cycle-free.
 from __future__ import annotations
 
 from importlib import import_module
-from typing import Callable, Dict, List
+from inspect import signature
+from typing import Callable, Dict, List, Optional
 
 #: experiment id -> module path (each module exposes ``run`` and ``TITLE``)
 _EXPERIMENT_MODULES: Dict[str, str] = {
@@ -39,3 +40,25 @@ def get_experiment(experiment_id: str) -> Callable:
         known = ", ".join(all_experiments())
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
     return import_module(module_path).run
+
+
+def run_experiment(
+    experiment_id: str,
+    *,
+    seed: int,
+    quick: bool = False,
+    workers: Optional[int] = None,
+):
+    """Run one experiment, forwarding ``workers`` where supported.
+
+    Experiment runners opt into trial-level parallelism by accepting a
+    ``workers`` keyword (e.g. Table 1); runners without it are called
+    with ``(seed, quick)`` only, so a global ``--workers`` flag stays
+    safe across the whole registry.
+    """
+    run = get_experiment(experiment_id)
+    kwargs = {}
+    if workers and workers > 1:
+        if "workers" in signature(run).parameters:
+            kwargs["workers"] = workers
+    return run(seed=seed, quick=quick, **kwargs)

@@ -21,7 +21,9 @@ proof-grade constants; recorded in the report notes).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+import random
+from functools import partial
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.scaling import fit_logarithm, fit_power_law
 from repro.analysis.statecount import (
@@ -30,40 +32,67 @@ from repro.analysis.statecount import (
     sublinear_state_log2_estimate,
 )
 from repro.analysis.stats import TrialSummary, summarize_trials
-from repro.core.fastpath import CiwJumpSimulator, worst_case_ciw_counts
-from repro.core.rng import DEFAULT_SEED, make_rng
+from repro.core.countsim import CountSimulation
+from repro.core.fastpath import worst_case_ciw_counts
+from repro.core.parallel import ParallelTrialRunner
+from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import (
     ExperimentReport,
     repeat_convergence,
     summarize_outcomes,
 )
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
 from repro.protocols.sublinear.protocol import SublinearTimeSSR
 
 EXPERIMENT_ID = "table1"
 TITLE = "Table 1 -- SSR protocol time/space complexities (measured)"
 
 
-def _ciw_times(ns: Sequence[int], trials: int, seed: int) -> Dict[int, TrialSummary]:
+def _ciw_trial(n: int, rng: random.Random) -> float:
+    """One CIW stabilization measurement from the worst-case start.
+
+    Runs the generic count-based engine in jump mode.  From a worst-case
+    start its trajectory is interaction-for-interaction identical to the
+    historical :class:`repro.core.fastpath.CiwJumpSimulator` for the same
+    seed (both draw one geometric and one Fenwick sample per effective
+    event, over identical weight tables) -- enforced by the equivalence
+    tests, so this engine swap changed no reported Table 1 value.
+    """
+    protocol = SilentNStateSSR(n)
+    states = protocol.counts_to_configuration(worst_case_ciw_counts(n))
+    sim = CountSimulation(protocol, states, rng=rng, mode="jump")
+    sim.run_until_silent()
+    return sim.parallel_time
+
+
+def _ciw_times(
+    ns: Sequence[int], trials: int, seed: int, runner: ParallelTrialRunner
+) -> Dict[int, TrialSummary]:
     """Silent-n-state-SSR stabilization times from the worst-case start.
 
-    Uses the exact-jump fast simulator (distributionally identical to the
+    Uses the exact-jump count engine (distributionally identical to the
     sequential engine; cross-validated in the test suite), which is what
     makes Theta(n^3) interactions reachable.
     """
     results: Dict[int, TrialSummary] = {}
     for n in ns:
-        times: List[float] = []
-        for trial in range(trials):
-            rng = make_rng(seed, "ciw", n, trial)
-            sim = CiwJumpSimulator(worst_case_ciw_counts(n), rng)
-            sim.run_to_convergence()
-            times.append(sim.parallel_time)
+        times = runner.map_trials(
+            partial(_ciw_trial, n), seed=seed, labels=("ciw", n), trials=trials
+        )
         results[n] = summarize_trials(times)
     return results
 
 
+def _optimal_silent_trial(n: int, rng: random.Random) -> float:
+    from repro.core.fastpath_optimal_silent import OptimalSilentFastSim
+
+    sim = OptimalSilentFastSim(n, rng)
+    sim.random_start()
+    return sim.run_to_convergence(50_000 * n * n) / n
+
+
 def _optimal_silent_times(
-    ns: Sequence[int], trials: int, seed: int
+    ns: Sequence[int], trials: int, seed: int, runner: ParallelTrialRunner
 ) -> Dict[int, TrialSummary]:
     """Optimal-Silent-SSR from uniformly random adversarial starts.
 
@@ -74,36 +103,42 @@ def _optimal_silent_times(
     convergence time is exact stabilization -- the same quantity the
     generic measurement certifies.
     """
-    from repro.core.fastpath_optimal_silent import OptimalSilentFastSim
-
     results: Dict[int, TrialSummary] = {}
     for n in ns:
-        times: List[float] = []
-        for trial in range(trials):
-            sim = OptimalSilentFastSim(
-                n, make_rng(seed, f"optimal-silent-{n}", trial)
-            )
-            sim.random_start()
-            times.append(sim.run_to_convergence(50_000 * n * n) / n)
+        times = runner.map_trials(
+            partial(_optimal_silent_trial, n),
+            seed=seed,
+            labels=(f"optimal-silent-{n}",),
+            trials=trials,
+        )
         results[n] = summarize_trials(times)
     return results
 
 
+def _make_sublinear(n: int, h: int) -> SublinearTimeSSR:
+    return SublinearTimeSSR(n, h=h)
+
+
+def _random_configuration(protocol, rng: random.Random):
+    return protocol.random_configuration(rng)
+
+
 def _sublinear_times(
-    ns: Sequence[int], trials: int, seed: int
+    ns: Sequence[int], trials: int, seed: int, runner: ParallelTrialRunner
 ) -> Dict[int, TrialSummary]:
     """Sublinear-Time-SSR at H = ceil(log2 n), random adversarial starts."""
     results: Dict[int, TrialSummary] = {}
     for n in ns:
         h = max(1, (n - 1).bit_length())
         outcomes = repeat_convergence(
-            make_protocol=lambda n=n, h=h: SublinearTimeSSR(n, h=h),
-            make_states=lambda protocol, rng: protocol.random_configuration(rng),
+            make_protocol=partial(_make_sublinear, n, h),
+            make_states=_random_configuration,
             seed=seed,
             label=f"sublinear-log-{n}",
             trials=trials,
             max_time=4000.0 + 400.0 * math.log(n),
             confirm_time=25.0 + 4.0 * math.log(n),
+            runner=runner,
         )
         results[n] = summarize_outcomes(outcomes)
     return results
@@ -130,8 +165,17 @@ def _add_rows(
         )
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
-    """Regenerate Table 1.  ``quick`` shrinks sizes/trials for CI use."""
+def run(
+    seed: int = DEFAULT_SEED, quick: bool = False, workers: Optional[int] = None
+) -> ExperimentReport:
+    """Regenerate Table 1.  ``quick`` shrinks sizes/trials for CI use.
+
+    ``workers`` > 1 fans the independent trials of each row out over a
+    process pool; results are bit-identical to the serial run (per-trial
+    RNG streams are derived inside the workers from the same label
+    paths).
+    """
+    runner = ParallelTrialRunner(workers)
     if quick:
         ciw_ns, ciw_trials = [16, 32, 64], 5
         os_ns, os_trials = [8, 16, 32], 8
@@ -157,9 +201,9 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
         ],
     )
 
-    ciw = _ciw_times(ciw_ns, ciw_trials, seed)
-    osr = _optimal_silent_times(os_ns, os_trials, seed)
-    sub = _sublinear_times(sub_ns, sub_trials, seed)
+    ciw = _ciw_times(ciw_ns, ciw_trials, seed, runner)
+    osr = _optimal_silent_times(os_ns, os_trials, seed, runner)
+    sub = _sublinear_times(sub_ns, sub_trials, seed, runner)
 
     _add_rows(
         report,

@@ -105,11 +105,15 @@ class TestParityWithGenericEngine:
         for trial in range(self.TRIALS):
             protocol = OptimalSilentSSR(self.N)
             rng = make_rng(8, "genpar", trial)
+            # Pin the generic engine: this test cross-validates the fast
+            # array simulator against the reference agent-array engine
+            # (countsim has its own equivalence suite in test_countsim).
             outcome = measure_convergence(
                 protocol,
                 protocol.duplicate_rank_configuration(rank=1),
                 rng=rng,
                 max_time=500_000.0,
+                engine="generic",
             )
             assert outcome.converged
             times.append(outcome.convergence_time)

@@ -1,0 +1,88 @@
+"""Tests for the process-pool trial runner.
+
+The contract under test: results are bit-identical whether trials run
+serially or across worker processes, because each trial's RNG is derived
+inside the worker from the same ``(seed, *labels, index)`` path.
+"""
+
+import random
+from functools import partial
+
+import pytest
+
+from repro.core.parallel import ParallelTrialRunner
+from repro.core.rng import make_rng
+from repro.experiments.common import repeat_convergence
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+
+
+def draw_uniform(rng: random.Random) -> float:
+    """Top-level (picklable) trial task."""
+    return rng.random()
+
+
+def scaled_draw(scale: float, rng: random.Random) -> float:
+    return scale * rng.random()
+
+
+def make_ciw(n: int) -> SilentNStateSSR:
+    return SilentNStateSSR(n)
+
+
+def worst_case_states(protocol, rng):
+    return protocol.worst_case_configuration()
+
+
+class TestParallelTrialRunner:
+    def test_trial_rngs_match_serial_derivation(self):
+        results = ParallelTrialRunner().map_trials(
+            draw_uniform, seed=9, labels=("t",), trials=5
+        )
+        expected = [make_rng(9, "t", i).random() for i in range(5)]
+        assert results == expected
+
+    def test_parallel_results_equal_serial(self):
+        serial = ParallelTrialRunner(1).map_trials(
+            partial(scaled_draw, 10.0), seed=3, labels=("p", 7), trials=8
+        )
+        parallel = ParallelTrialRunner(2).map_trials(
+            partial(scaled_draw, 10.0), seed=3, labels=("p", 7), trials=8
+        )
+        assert serial == parallel
+
+    def test_scalar_label_is_equivalent_to_singleton_path(self):
+        scalar = ParallelTrialRunner().map_trials(
+            draw_uniform, seed=4, labels="lbl", trials=3
+        )
+        tupled = ParallelTrialRunner().map_trials(
+            draw_uniform, seed=4, labels=("lbl",), trials=3
+        )
+        assert scalar == tupled
+
+    def test_unpicklable_task_falls_back_to_serial(self):
+        runner = ParallelTrialRunner(4)
+        results = runner.map_trials(
+            lambda rng: rng.random(), seed=5, labels=("fb",), trials=4
+        )
+        expected = [make_rng(5, "fb", i).random() for i in range(4)]
+        assert results == expected
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelTrialRunner(0)
+
+    def test_repeat_convergence_parallel_matches_serial(self):
+        kwargs = dict(
+            make_protocol=partial(make_ciw, 6),
+            make_states=worst_case_states,
+            seed=6,
+            label="rc",
+            trials=4,
+            max_time=10_000.0,
+        )
+        serial = repeat_convergence(**kwargs)
+        parallel = repeat_convergence(
+            runner=ParallelTrialRunner(2), **kwargs
+        )
+        assert serial == parallel
+        assert all(outcome.converged for outcome in serial)

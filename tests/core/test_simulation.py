@@ -64,6 +64,14 @@ class TestRunUntil:
         sim = Simulation(protocol, [0, 1, 2], rng=rng)
         assert sim.run_until(lambda s: True, max_interactions=10) == 0
 
+    def test_default_check_every_is_population_scaled(self, rng):
+        # n = 3, so the default polls every 3 interactions: a predicate
+        # first true at interaction 1 is observed at the next boundary.
+        protocol = SilentNStateSSR(3)
+        sim = Simulation(protocol, rng=rng)
+        count = sim.run_until(lambda s: s.interactions >= 1, max_interactions=100)
+        assert count == 3
+
     def test_runs_until_predicate(self, rng):
         protocol = SilentNStateSSR(3)
         sim = Simulation(protocol, rng=rng)

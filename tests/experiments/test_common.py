@@ -43,6 +43,94 @@ class TestMeasureConvergence:
         assert not outcome.converged
         assert outcome.convergence_time != outcome.convergence_time  # NaN
 
+    def test_engine_count_certifies_by_silence(self):
+        protocol = SilentNStateSSR(6)
+        rng = make_rng(5, "mc")
+        outcome = measure_convergence(
+            protocol,
+            protocol.worst_case_configuration(),
+            rng=rng,
+            max_time=10_000,
+            engine="count",
+        )
+        assert outcome.converged
+        assert outcome.silent_certified
+        assert outcome.convergence_time > 0
+
+    def test_engine_count_already_correct_start(self):
+        protocol = SilentNStateSSR(5)
+        rng = make_rng(6, "mc")
+        outcome = measure_convergence(
+            protocol, [0, 1, 2, 3, 4], rng=rng, max_time=100, engine="count"
+        )
+        assert outcome.converged
+        assert outcome.convergence_time == 0.0
+        assert outcome.interactions == 0
+
+    def test_engine_count_budget_exhaustion(self):
+        protocol = SilentNStateSSR(8)
+        rng = make_rng(7, "mc")
+        outcome = measure_convergence(
+            protocol,
+            protocol.worst_case_configuration(),
+            rng=rng,
+            max_time=0.5,
+            engine="count",
+        )
+        assert not outcome.converged
+        assert outcome.convergence_time != outcome.convergence_time  # NaN
+
+    def test_engine_auto_falls_back_for_lossy_schemas(self):
+        # SublinearTimeSSR's history trees are out-of-key, so auto must
+        # route to the generic engine rather than raising.
+        from repro.protocols.sublinear.protocol import SublinearTimeSSR
+
+        protocol = SublinearTimeSSR(4, h=0)
+        rng = make_rng(8, "mc")
+        outcome = measure_convergence(
+            protocol,
+            protocol.random_configuration(rng),
+            rng=rng,
+            max_time=40_000.0,
+        )
+        assert outcome.converged
+
+    def test_engine_matches_distribution_across_engines(self):
+        # Same protocol and label family, distinct streams: the two
+        # engines' mean stabilization times agree within sampling noise.
+        import statistics
+
+        def mean_time(engine, label):
+            times = []
+            for trial in range(40):
+                protocol = SilentNStateSSR(6)
+                rng = make_rng(9, label, trial)
+                outcome = measure_convergence(
+                    protocol,
+                    protocol.worst_case_configuration(),
+                    rng=rng,
+                    max_time=10_000,
+                    engine=engine,
+                )
+                assert outcome.converged
+                times.append(outcome.convergence_time)
+            return statistics.mean(times)
+
+        generic = mean_time("generic", "eng-gen")
+        count = mean_time("count", "eng-count")
+        assert count == pytest.approx(generic, rel=0.25)
+
+    def test_unknown_engine_rejected(self):
+        protocol = SilentNStateSSR(4)
+        with pytest.raises(ValueError):
+            measure_convergence(
+                protocol,
+                [0, 1, 2, 3],
+                rng=make_rng(10, "mc"),
+                max_time=1.0,
+                engine="quantum",
+            )
+
     def test_confirmation_window_path(self):
         # Disable silence probing to exercise the streak-confirm branch.
         protocol = SilentNStateSSR(5)

@@ -117,10 +117,8 @@ class TestDerandomizedNames:
         # Randomize coins so the wave starts with ambient entropy.
         for index, state in enumerate(states):
             state.coin = index % 2
-        sim = Simulation(p, states, rng=rng)
         monitor = p.convergence_monitor()
-        sim.monitors.append(monitor)
-        monitor.on_start(sim.states)
+        sim = Simulation(p, states, rng=rng, monitors=[monitor])
         budget = 400_000
         while not (
             monitor.correct
