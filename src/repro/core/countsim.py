@@ -44,17 +44,38 @@ Modes
     silent protocol (the analytic ``is_pair_null`` predicate classifies
     pairs).  Fast only when effective pairs are rare.
 ``auto`` (default)
-    Start in ``interaction`` mode; switch one-way to ``jump`` once
+    Start in ``interaction`` mode; switch to ``jump`` once
     ``max(64, n)`` consecutive interactions changed nothing -- the
     empirical signal that null interactions dominate.  Protocols that
-    are not silent simply never switch.
+    are not silent simply never switch.  (The switch is undone only by
+    fault injection -- see :meth:`CountSimulation.corrupt` -- after
+    which the same null-gap heuristic re-arms.)
+``active``
+    Partition agents into *active* and *passive* using the protocol's
+    optional ``silent_class`` hook and skip passive-passive pairs with
+    one geometric draw.  ``silent_class(state)`` returns a hashable
+    class or ``None`` (always active); the contract is that two states
+    with *distinct* non-``None`` classes form null pairs in both
+    orders (checked statically by ``repro lint``).  A slot is passive
+    when it is the only occupied slot of its class and its diagonal is
+    null (trivially so at count 1).  Unlike jump mode this needs no
+    O(k^2) pair classification and survives fault injection at O(1)
+    incremental cost, so it is the mode ``measure_recovery`` uses for
+    large-n chaos runs.
+
+Fault injection
+---------------
+:meth:`CountSimulation.corrupt` edits the count multiset in place
+(decrement victim slots, increment corrupted-state slots) and resyncs
+every piece of incremental bookkeeping, which is what lets
+``measure_recovery(engine="count")`` run recovery experiments at
+n=8192+ instead of n~256.
 """
 
 from __future__ import annotations
 
 import random
-from copy import deepcopy
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple, TypeVar
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple, TypeVar
 
 from repro.core.errors import NotSilentError
 from repro.core.fastpath import _geometric
@@ -205,7 +226,7 @@ def count_engine_eligible(protocol: PopulationProtocol[Any]) -> bool:
 #: Memo marker for pairs whose transition consults the RNG.
 _RANDOMIZED = None
 
-_MODES = ("auto", "interaction", "jump")
+_MODES = ("auto", "interaction", "jump", "active")
 
 
 class CountSimulation:
@@ -219,13 +240,13 @@ class CountSimulation:
         unlock the ``jump``/``auto`` fast modes.
     states:
         Initial configuration (``protocol.n`` agent states).  The input
-        objects are never mutated: transitions always run on deep copies
-        of slot representatives.
+        objects are never mutated: transitions always run on copies of
+        slot representatives (``protocol.clone_state``).
     rng:
         Source of randomness for scheduling and randomized transitions.
     mode:
-        ``"auto"`` (default), ``"interaction"`` or ``"jump"`` -- see the
-        module docstring.
+        ``"auto"`` (default), ``"interaction"``, ``"jump"`` or
+        ``"active"`` -- see the module docstring.
     switch_after:
         In ``auto`` mode, the null-gap (consecutive interactions without
         a configuration change) that triggers the one-way switch to jump
@@ -275,12 +296,19 @@ class CountSimulation:
                 "the canonical key; the count engine needs lossless state keys "
                 "(use the generic Simulation instead)"
             )
-        if mode == "jump" and not protocol.silent:
+        if mode in ("jump", "active") and not protocol.silent:
             raise NotSilentError(
-                f"{type(protocol).__name__} is not silent; jump mode needs "
+                f"{type(protocol).__name__} is not silent; {mode} mode needs "
                 "the analytic is_pair_null predicate"
             )
+        self._class_of = getattr(protocol, "silent_class", None)
+        if mode == "active" and self._class_of is None:
+            raise ValueError(
+                f"{type(protocol).__name__} does not implement silent_class(); "
+                "active mode needs the mutually-null class partition"
+            )
         self._schema: StateSchema = schema
+        self._clone = protocol.clone_state
         n = protocol.n
         self.n = n
         self._ordered_pairs = n * (n - 1)
@@ -306,12 +334,22 @@ class CountSimulation:
         self._pair_list: List[Tuple[int, int]] = []
         self._adj: List[List[int]] = []
         self._pair_tree = GrowableFenwick()
+        self._classified: List[bool] = []
+
+        # -- active-mode structures (used only when mode == "active") ---
+        self._active_mode = mode == "active"
+        self._slot_class: List[Optional[Hashable]] = []
+        self._self_null: List[Optional[bool]] = []
+        self._class_slots: Dict[Hashable, Set[int]] = {}
+        self._active_tree = GrowableFenwick()
+        self._passive_tree = GrowableFenwick()
 
         self.interactions = 0
         self.events = 0
         self.changes = 0
         self._last_change = 0
-        self._mode = "interaction"
+        self._requested_mode = mode
+        self._mode = "active" if mode == "active" else "interaction"
         self._switching = mode == "auto" and protocol.silent
         self._switch_after = switch_after if switch_after else max(64, n)
 
@@ -331,17 +369,24 @@ class CountSimulation:
 
     @property
     def mode(self) -> str:
-        """Current engine mode: ``"interaction"`` or ``"jump"``."""
+        """Current engine mode: ``"interaction"``, ``"jump"`` or ``"active"``."""
         return self._mode
 
     @property
     def silent(self) -> bool:
         """Whether the configuration is *provably* silent.
 
-        Only jump mode maintains the effective-pair weight, so this is
-        ``False`` (i.e. "not known silent") while in interaction mode.
+        Jump mode maintains the effective-pair weight exactly; active
+        mode certifies silence when no agent is active (sound by the
+        ``silent_class`` contract, and exact for the package's silent
+        protocols, whose same-class encounters are always effective).
+        In interaction mode this is ``False`` ("not known silent").
         """
-        return self._mode == "jump" and self._pair_tree.total() == 0
+        if self._mode == "jump":
+            return self._pair_tree.total() == 0
+        if self._mode == "active":
+            return self._active_tree.total() == 0
+        return False
 
     def occupancy(self) -> Dict[Hashable, int]:
         """Multiset of canonical state keys with non-zero counts."""
@@ -353,11 +398,11 @@ class CountSimulation:
         }
 
     def expand_states(self) -> List[S]:
-        """Materialize an agent-state list (deep copies, arbitrary order)."""
+        """Materialize an agent-state list (independent copies, arbitrary order)."""
         out: List[S] = []
         for slot, count in enumerate(self._counts):
             for _ in range(count):
-                out.append(deepcopy(self._reps[slot]))
+                out.append(self._clone(self._reps[slot]))
         return out
 
     def correct_streak(self, current_step: int) -> int:
@@ -393,6 +438,36 @@ class CountSimulation:
                 self.interactions = nxt
                 self.events += 1
                 si, sj = self._pair_list[tree.sample(rng)]
+                self._interact(si, sj)
+            elif self._mode == "active":
+                active = self._active_tree.total()
+                if active == 0:
+                    return  # silent: only passive-passive pairs remain
+                passive = self._passive_tree.total()
+                effective = self._ordered_pairs - passive * (passive - 1)
+                if effective < self._ordered_pairs:
+                    p = effective / self._ordered_pairs
+                    nxt = self.interactions + _geometric(rng, p) + 1
+                else:
+                    nxt = self.interactions + 1
+                if nxt > deadline:
+                    self.interactions = deadline
+                    return
+                self.interactions = nxt
+                self.events += 1
+                # Conditioned on "not passive-passive", the initiator's
+                # agent lies in an active slot with probability
+                # active * (n - 1) / effective; otherwise the initiator
+                # is passive and the responder must be active.
+                if rng.randrange(effective) < active * (self.n - 1):
+                    count_tree = self._count_tree
+                    si = self._active_tree.sample(rng)
+                    count_tree.add(si, -1)  # responder is a different agent
+                    sj = count_tree.sample(rng)
+                    count_tree.add(si, +1)
+                else:
+                    si = self._passive_tree.sample(rng)
+                    sj = self._active_tree.sample(rng)
                 self._interact(si, sj)
             else:
                 self._interaction_step()
@@ -437,14 +512,19 @@ class CountSimulation:
             self._counts.append(0)
             self._count_tree.append(0)
             self._adj.append([])
+            self._classified.append(False)
             rank = 0
             if self._rank_of is not None:
                 r = self._rank_of(state)
                 if isinstance(r, int) and 1 <= r <= self.n:
                     rank = r
             self._slot_rank.append(rank)
-            if self._mode == "jump":
-                self._classify_slot(slot)
+            if self._active_mode:
+                assert self._class_of is not None
+                self._slot_class.append(self._class_of(state))
+                self._self_null.append(None)
+                self._active_tree.append(0)
+                self._passive_tree.append(0)
         return slot
 
     def _set_count(self, slot: int, new: int) -> None:
@@ -461,6 +541,13 @@ class CountSimulation:
                 self._good -= 1
             if cur == 1:
                 self._good += 1
+        if self._active_mode:
+            self._activity_update(slot, old, new)
+        elif self._mode == "jump" and old == 0 and new > 0 and not self._classified[slot]:
+            # Slots are classified lazily, on first occupancy within the
+            # current jump period; pair weights are patched afterwards by
+            # the caller's reweigh pass (or are already current).
+            self._classify_slot(slot)
 
     def _refresh(self) -> None:
         now_correct = self._good == self.n
@@ -488,16 +575,16 @@ class CountSimulation:
         entry = self._memo.get((si, sj), False)
         if entry is False:
             # First occurrence of this ordered state pair: probe it.
-            initiator = deepcopy(self._reps[si])
-            responder = deepcopy(self._reps[sj])
+            initiator = self._clone(self._reps[si])
+            responder = self._clone(self._reps[sj])
             spy = _SpyRandom(self.rng)
             out_a, out_b = self.protocol.transition(initiator, responder, spy)
             ta = self._slot_for_state(out_a)
             tb = self._slot_for_state(out_b)
             self._memo[(si, sj)] = _RANDOMIZED if spy.used else (ta, tb)
         elif entry is _RANDOMIZED:
-            initiator = deepcopy(self._reps[si])
-            responder = deepcopy(self._reps[sj])
+            initiator = self._clone(self._reps[si])
+            responder = self._clone(self._reps[sj])
             out_a, out_b = self.protocol.transition(initiator, responder, self.rng)
             ta = self._slot_for_state(out_a)
             tb = self._slot_for_state(out_b)
@@ -539,21 +626,47 @@ class CountSimulation:
     # -- jump mode -----------------------------------------------------
 
     def _enter_jump_mode(self) -> None:
-        """Classify every ordered slot pair and switch to jump mode.
+        """Classify the *occupied* slot pairs and switch to jump mode.
 
-        O(k^2) ``is_pair_null`` queries over the ``k`` slots seen so
-        far; each pair is classified exactly once because later slots
-        classify themselves against all earlier ones on creation.
+        O(k^2) ``is_pair_null`` queries over the ``k`` occupied slots;
+        empty slots (left behind by transient counters or by fault
+        injection) are skipped here and classified lazily if they ever
+        refill -- without this, repeated corruption would make every
+        re-entry pay for the full graveyard of stale slots.
         """
         self._mode = "jump"
+        counts = self._counts
         for slot in range(len(self._reps)):
-            self._classify_slot(slot)
+            if counts[slot] > 0 and not self._classified[slot]:
+                self._classify_slot(slot)
+
+    def _exit_jump_mode(self) -> None:
+        """Drop the effective-pair cache and fall back to interaction mode.
+
+        Called on fault injection: corrupted states spawn cascades of
+        short-lived slots (error counters, reset timers), and keeping
+        the pair cache current through that would cost O(k) registered
+        pairs per new slot.  The auto-switch heuristic is re-armed, so
+        the engine re-enters jump mode after the next long null gap.
+        """
+        self._mode = "interaction"
+        self._pair_list = []
+        self._adj = [[] for _ in self._reps]
+        self._pair_tree = GrowableFenwick()
+        self._classified = [False] * len(self._reps)
+        self._switching = (
+            self._requested_mode in ("auto", "jump") and self.protocol.silent
+        )
 
     def _classify_slot(self, m: int) -> None:
+        classified = self._classified
+        classified[m] = True
         is_pair_null = self.protocol.is_pair_null
         reps = self._reps
         a = reps[m]
-        for j in range(m + 1):
+        for j, done in enumerate(classified):
+            if not done:
+                continue
             if j == m:
                 if not is_pair_null(a, a):
                     self._register_pair(m, m)
@@ -574,3 +687,120 @@ class CountSimulation:
         ci = counts[i]
         weight = ci * (ci - 1) if i == j else ci * counts[j]
         self._pair_tree.append(weight)
+
+    # -- active mode ---------------------------------------------------
+
+    def _activity_update(self, slot: int, old: int, new: int) -> None:
+        """Maintain the active/passive partition across a count change.
+
+        A slot's passivity depends only on its count and on whether it
+        shares its class with another occupied slot, so a count change
+        can affect at most the slot itself plus -- on an occupancy flip
+        -- the other members of its class.
+        """
+        cls = self._slot_class[slot]
+        refresh = [slot]
+        if cls is not None and (old == 0) != (new == 0):
+            members = self._class_slots.setdefault(cls, set())
+            if new > 0:
+                members.add(slot)
+                if len(members) == 2:
+                    # The previously sole member loses its passivity.
+                    refresh.extend(m for m in members if m != slot)
+            else:
+                members.discard(slot)
+                if len(members) == 1:
+                    # The survivor may become passive.
+                    refresh.extend(members)
+        for m in refresh:
+            self._refresh_activity(m)
+
+    def _refresh_activity(self, slot: int) -> None:
+        count = self._counts[slot]
+        passive = False
+        if count > 0:
+            cls = self._slot_class[slot]
+            if cls is not None and len(self._class_slots.get(cls, ())) == 1:
+                if count < 2:
+                    passive = True  # no diagonal pair to worry about
+                else:
+                    null = self._self_null[slot]
+                    if null is None:
+                        rep = self._reps[slot]
+                        null = self.protocol.is_pair_null(rep, rep)
+                        self._self_null[slot] = null
+                    passive = null
+        if passive:
+            self._active_tree.set(slot, 0)
+            self._passive_tree.set(slot, count)
+        else:
+            self._active_tree.set(slot, count)
+            self._passive_tree.set(slot, 0)
+
+    # -- fault injection -----------------------------------------------
+
+    def sample_agent_slot(self, rng: random.Random) -> int:
+        """Slot of one uniformly random agent (weight = slot count)."""
+        return self._count_tree.sample(rng)
+
+    def sample_victim_slots(self, count: int, rng: random.Random) -> List[int]:
+        """Slots of ``count`` distinct agents drawn without replacement.
+
+        Returns slot ids *with multiplicity* (two victims in the same
+        slot appear twice).  Agents within a slot are interchangeable,
+        so sequential draws with a temporarily decremented urn yield
+        exactly the law of ``rng.sample`` over agents followed by a
+        slot lookup (a multivariate hypergeometric over slots).
+        """
+        count = min(count, self.n)
+        tree = self._count_tree
+        victims: List[int] = []
+        for _ in range(count):
+            slot = tree.sample(rng)
+            victims.append(slot)
+            tree.add(slot, -1)  # already-chosen agents leave the urn
+        for slot in victims:
+            tree.add(slot, +1)
+        return victims
+
+    def slot_state(self, slot: int) -> S:
+        """An independent copy of the representative state of ``slot``."""
+        return self._clone(self._reps[slot])
+
+    def slot_rank(self, slot: int) -> int:
+        """Rank of the slot's state (0 when the state is unranked)."""
+        return self._slot_rank[slot]
+
+    def occupied_slots(self) -> List[Tuple[int, int]]:
+        """``(slot, count)`` pairs for every slot with agents in it."""
+        return [
+            (slot, count) for slot, count in enumerate(self._counts) if count > 0
+        ]
+
+    def corrupt(self, victims: Sequence[int], new_states: Sequence[S]) -> None:
+        """Overwrite one agent per ``(victim slot, new state)`` pair.
+
+        The configuration multiset becomes ``old - victims + new``, and
+        every piece of incremental bookkeeping (count Fenwick tree,
+        rank-correctness monitor state, active/passive partition) is
+        resynchronized.  A fault is not an interaction, so
+        ``interactions``/``events``/``changes`` do not advance -- but
+        the null-gap clock resets, since the configuration did change
+        behind the scheduler's back.  In jump mode the effective-pair
+        cache is discarded first (see :meth:`_exit_jump_mode`).
+        """
+        if len(victims) != len(new_states):
+            raise ValueError(
+                f"got {len(victims)} victims but {len(new_states)} states"
+            )
+        if self._mode == "jump":
+            self._exit_jump_mode()
+        counts = self._counts
+        for slot, state in zip(victims, new_states):
+            if counts[slot] <= 0:
+                raise ValueError(f"slot {slot} is empty; nothing to corrupt")
+            self._set_count(slot, counts[slot] - 1)
+            target = self._slot_for_state(self._clone(state))
+            self._set_count(target, counts[target] + 1)
+        self._last_change = self.interactions
+        self._refresh()

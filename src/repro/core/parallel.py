@@ -7,19 +7,53 @@ seeded trials; the trials share nothing, so they parallelize perfectly.
 package's reproducibility contract exactly: each trial's RNG is derived
 *inside the worker* from the same ``(root_seed, *labels, index)`` path
 :func:`repro.core.rng.make_rng` would use serially, so results are
-bit-identical whether a run uses 1 worker or 32.
+bit-identical whether a run uses 1 worker or 32 -- or crashes halfway
+and resumes from a checkpoint.
+
+Fault tolerance
+---------------
+The runner distinguishes three failure classes:
+
+* **Task errors** -- the trial itself raised.  These are *real*
+  failures: they propagate immediately as :class:`TrialTaskError`
+  carrying the trial index and the worker-side traceback, never
+  triggering reruns (rerunning a deterministic trial reproduces the
+  same error, and silently masking it hides the experiment bug).
+* **Pool infrastructure errors** -- a worker crashed (OOM-kill,
+  ``BrokenProcessPool``) or the platform cannot start processes.
+  Trials are pure, so the runner retries *only the missing trials* on
+  a fresh pool (``pool_retries`` rounds), then falls back to running
+  the stragglers serially.
+* **Timeouts** -- with ``timeout=`` set, a trial exceeding its budget
+  raises :class:`TrialTimeoutError` (a task error: something in the
+  trial hung).
+
+With ``checkpoint=`` set, every finished trial is appended to an
+on-disk journal keyed by ``(seed, labels)``; a re-run with the same
+arguments loads finished trials and computes only the rest, so a killed
+long experiment loses nothing.
 
 Tasks must be picklable (module-level functions, optionally wrapped in
-:func:`functools.partial`); if a task is not picklable, or the platform
-cannot start worker processes (restricted sandboxes), the runner
-degrades gracefully to the serial path rather than failing.
+:func:`functools.partial`); if a task is not picklable the runner
+degrades to the serial path.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import random
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+import traceback
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.rng import Label, make_rng
 
@@ -27,10 +61,66 @@ from repro.core.rng import Label, make_rng
 #: picklable result.
 TrialTask = Callable[[random.Random], Any]
 
+__all__ = [
+    "ParallelTrialRunner",
+    "TrialTaskError",
+    "TrialTimeoutError",
+]
+
+
+class TrialTaskError(RuntimeError):
+    """A trial's task raised; carries the trial index and remote traceback."""
+
+    def __init__(self, index: int, message: str, remote_traceback: str = ""):
+        super().__init__(f"trial {index} failed: {message}")
+        self.index = index
+        self.remote_traceback = remote_traceback
+
+
+class TrialTimeoutError(TrialTaskError):
+    """A trial exceeded its per-trial timeout."""
+
+    def __init__(self, index: int, timeout: float):
+        TrialTaskError.__init__(
+            self, index, f"exceeded per-trial timeout of {timeout}s"
+        )
+        self.timeout = timeout
+
+
+class _TrialFailure:
+    """Picklable record of a worker-side exception (no exception objects
+    cross the pipe: user exception classes may not unpickle cleanly)."""
+
+    __slots__ = ("kind", "message", "remote_traceback")
+
+    def __init__(self, kind: str, message: str, remote_traceback: str):
+        self.kind = kind
+        self.message = message
+        self.remote_traceback = remote_traceback
+
 
 def _run_trial(task: TrialTask, seed: int, labels: Tuple[Label, ...], index: int) -> Any:
     """Top-level worker body (must be importable for pickling)."""
     return task(make_rng(seed, *labels, index))
+
+
+def _run_trial_guarded(
+    task: TrialTask, seed: int, labels: Tuple[Label, ...], index: int
+) -> Any:
+    """Worker body that captures task exceptions as data.
+
+    An exception raised *by the task* comes back as a
+    :class:`_TrialFailure` value rather than through the future's
+    exception channel, which keeps it cleanly distinguishable from pool
+    infrastructure failures (a dead worker also surfaces as a future
+    exception -- ``BrokenProcessPool``).
+    """
+    try:
+        return task(make_rng(seed, *labels, index))
+    except BaseException as exc:  # noqa: B036 - reported, not swallowed
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return _TrialFailure(type(exc).__name__, str(exc), traceback.format_exc())
 
 
 class ParallelTrialRunner:
@@ -42,12 +132,38 @@ class ParallelTrialRunner:
         Number of worker processes.  ``None`` or ``1`` selects the
         serial path (no processes are spawned); values above 1 enable
         the pool.  The pool size never exceeds the trial count.
+    timeout:
+        Optional per-trial wall-clock budget in seconds (pooled runs
+        only; the serial path cannot preempt a running trial).  A trial
+        overrunning it raises :class:`TrialTimeoutError`.
+    pool_retries:
+        How many times a *pool-level* failure (broken worker, failed
+        spawn) is retried with a fresh pool before the missing trials
+        run serially.  Completed trials are never recomputed.
+    checkpoint:
+        Optional path to an on-disk trial journal.  Finished trials are
+        appended as they complete; a later call with the same ``seed``
+        and ``labels`` loads them and computes only the missing ones.
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        timeout: Optional[float] = None,
+        pool_retries: int = 1,
+        checkpoint: Optional[str] = None,
+    ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if pool_retries < 0:
+            raise ValueError(f"pool_retries must be >= 0, got {pool_retries}")
         self.workers = workers or 1
+        self.timeout = timeout
+        self.pool_retries = pool_retries
+        self.checkpoint = checkpoint
 
     @property
     def parallel(self) -> bool:
@@ -65,31 +181,184 @@ class ParallelTrialRunner:
 
         Trial ``i`` receives ``make_rng(seed, *labels, i)`` -- the exact
         stream the serial experiment helpers use -- and results come
-        back in trial order.
+        back in trial order.  A task exception propagates as
+        :class:`TrialTaskError` with the failing trial's index.
         """
         if isinstance(labels, (str, int)):
             labels = (labels,)
         label_path: Tuple[Label, ...] = tuple(labels)
-        if self.workers <= 1 or trials <= 1 or not _picklable(task):
-            return [_run_trial(task, seed, label_path, i) for i in range(trials)]
-        try:
-            return self._map_pooled(task, seed, label_path, trials)
-        except (OSError, ImportError, RuntimeError):
-            # Worker processes unavailable (restricted environment) or
-            # the pool broke: trials are pure, so rerun serially.
-            return [_run_trial(task, seed, label_path, i) for i in range(trials)]
+        run_key = (seed, label_path)
+        done: Dict[int, Any] = {}
+        if self.checkpoint:
+            done = {
+                index: value
+                for index, value in _load_checkpoint(self.checkpoint, run_key).items()
+                if 0 <= index < trials
+            }
+        pending = [index for index in range(trials) if index not in done]
+        if pending:
+            pooled = (
+                self.workers > 1 and len(pending) > 1 and _picklable(task)
+            )
+            if pooled:
+                fresh = self._map_pooled(task, seed, label_path, pending)
+            else:
+                fresh = self._map_serial(task, seed, label_path, pending)
+            done.update(fresh)
+        return [done[index] for index in range(trials)]
+
+    # -- serial path ----------------------------------------------------
+
+    def _map_serial(
+        self,
+        task: TrialTask,
+        seed: int,
+        labels: Tuple[Label, ...],
+        pending: Sequence[int],
+    ) -> Dict[int, Any]:
+        results: Dict[int, Any] = {}
+        run_key = (seed, labels)
+        for index in pending:
+            try:
+                value = _run_trial(task, seed, labels, index)
+            except Exception as exc:
+                raise TrialTaskError(
+                    index, f"{type(exc).__name__}: {exc}", traceback.format_exc()
+                ) from exc
+            results[index] = value
+            if self.checkpoint:
+                _append_checkpoint(self.checkpoint, run_key, index, value)
+        return results
+
+    # -- pooled path ----------------------------------------------------
 
     def _map_pooled(
-        self, task: TrialTask, seed: int, labels: Tuple[Label, ...], trials: int
-    ) -> List[Any]:
-        from concurrent.futures import ProcessPoolExecutor
+        self,
+        task: TrialTask,
+        seed: int,
+        labels: Tuple[Label, ...],
+        pending: Sequence[int],
+    ) -> Dict[int, Any]:
+        results: Dict[int, Any] = {}
+        missing = list(pending)
+        attempts = self.pool_retries + 1
+        for _ in range(attempts):
+            if not missing:
+                return results
+            try:
+                self._run_pool_round(task, seed, labels, missing, results)
+            except _PoolBroken:
+                # A worker died or the pool could not start: completed
+                # trials are kept, only the stragglers go another round.
+                missing = [index for index in missing if index not in results]
+                continue
+            return results
+        # Pool keeps breaking (or never started): trials are pure, so
+        # finish the missing ones serially.
+        missing = [index for index in missing if index not in results]
+        results.update(self._map_serial(task, seed, labels, missing))
+        return results
 
-        with ProcessPoolExecutor(max_workers=min(self.workers, trials)) as pool:
-            futures = [
-                pool.submit(_run_trial, task, seed, labels, index)
-                for index in range(trials)
-            ]
-            return [future.result() for future in futures]
+    def _run_pool_round(
+        self,
+        task: TrialTask,
+        seed: int,
+        labels: Tuple[Label, ...],
+        indices: Sequence[int],
+        results: Dict[int, Any],
+    ) -> None:
+        """One pool lifetime: submit ``indices``, harvest into ``results``.
+
+        Raises :class:`_PoolBroken` on pool infrastructure failures.
+        Task failures (captured in-worker) and per-trial timeouts raise
+        :class:`TrialTaskError` immediately -- no rerun will fix a
+        deterministic trial, and masking the error hides the bug.
+        """
+        import concurrent.futures as cf
+
+        run_key = (seed, labels)
+        try:
+            pool = cf.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(indices))
+            )
+        except (OSError, ImportError) as exc:
+            raise _PoolBroken() from exc
+        try:
+            try:
+                futures = {
+                    index: pool.submit(_run_trial_guarded, task, seed, labels, index)
+                    for index in indices
+                }
+            except cf.BrokenExecutor as exc:
+                raise _PoolBroken() from exc
+            for index, future in futures.items():
+                try:
+                    value = future.result(timeout=self.timeout)
+                except cf.TimeoutError:
+                    # Checked before the pool-error clause: the builtin
+                    # TimeoutError subclasses OSError on modern Pythons.
+                    raise TrialTimeoutError(index, self.timeout or 0.0) from None
+                except (cf.BrokenExecutor, OSError) as exc:
+                    raise _PoolBroken() from exc
+                if isinstance(value, _TrialFailure):
+                    raise TrialTaskError(
+                        index,
+                        f"{value.kind}: {value.message}",
+                        value.remote_traceback,
+                    )
+                results[index] = value
+                if self.checkpoint:
+                    _append_checkpoint(self.checkpoint, run_key, index, value)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+class _PoolBroken(Exception):
+    """Internal: the pool (not a task) failed; retry the missing trials."""
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint journal: an append-only pickle stream
+# ---------------------------------------------------------------------------
+
+_RunKey = Tuple[int, Tuple[Label, ...]]
+
+
+def _load_checkpoint(path: str, run_key: _RunKey) -> Dict[int, Any]:
+    """Load finished trials for ``run_key``; tolerate a truncated tail.
+
+    Records for other run keys (other seeds or labels sharing the file)
+    are ignored rather than treated as corruption, so one journal can
+    serve a whole experiment sweep.
+    """
+    results: Dict[int, Any] = {}
+    if not os.path.exists(path):
+        return results
+    try:
+        with open(path, "rb") as handle:
+            while True:
+                try:
+                    key, index, value = pickle.load(handle)
+                except EOFError:
+                    break
+                except Exception:
+                    # Truncated/corrupt tail (the run was killed mid-write):
+                    # everything before it is still good.
+                    break
+                if key == run_key:
+                    results[index] = value
+    except OSError:
+        return {}
+    return results
+
+
+def _append_checkpoint(path: str, run_key: _RunKey, index: int, value: Any) -> None:
+    """Append one finished trial; checkpointing must never kill the run."""
+    try:
+        with open(path, "ab") as handle:
+            pickle.dump((run_key, index, value), handle)
+    except (OSError, pickle.PicklingError):
+        pass
 
 
 def _picklable(task: TrialTask) -> bool:

@@ -27,6 +27,7 @@ the cheap scalar summaries exposed by :meth:`PopulationProtocol.summarize`.
 
 from __future__ import annotations
 
+import copy
 import random
 from abc import ABC, abstractmethod
 from typing import Any, Generic, Hashable, List, Sequence, Tuple, TypeVar
@@ -111,6 +112,18 @@ class PopulationProtocol(ABC, Generic[S]):
     def describe(self, state: S) -> str:
         """Human-readable one-line rendering of a state (for traces)."""
         return repr(state)
+
+    def clone_state(self, state: S) -> S:
+        """An independent copy of ``state`` (default: ``copy.deepcopy``).
+
+        The count engine and the fault-injection layer copy states on
+        hot paths (transition probing, corruption, cloning adversaries);
+        protocols with flat value states should override this with a
+        cheaper copy (``copy.copy`` for scalar dataclasses, identity for
+        immutable states) -- the override must still return an object
+        that shares no mutable structure with ``state``.
+        """
+        return copy.deepcopy(state)
 
     # ------------------------------------------------------------------
     # Silence

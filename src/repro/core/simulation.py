@@ -78,7 +78,13 @@ class Simulation(Generic[S]):
 
     def step(self) -> None:
         """Execute one interaction."""
-        i, j = self.scheduler.next_pair(self.rng)
+        pair = self.scheduler.next_pair(self.rng)
+        if pair is None:
+            # Omitted interaction (faulty scheduler): the clock ticks,
+            # nobody meets, monitors see nothing.
+            self.interactions += 1
+            return
+        i, j = pair
         states = self.states
         step = self.interactions
         if self._has_monitors:

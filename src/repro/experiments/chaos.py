@@ -1,0 +1,257 @@
+"""Chaos sweep driver behind the ``repro chaos`` CLI subcommand.
+
+Runs a named adversary (see :mod:`repro.core.chaos`) against one or
+more protocols across an n-sweep, measuring per-strike recovery time
+and availability with :func:`repro.core.faults.measure_recovery`, and
+renders a JSON + ascii-chart report.  Populations start in their stable
+ranked configuration -- chaos runs measure *recovery*, not initial
+convergence -- and trials fan out over worker processes with the usual
+bit-identical seeded-RNG contract.
+
+Example::
+
+    repro chaos --protocol optimal-silent --adversary leader \\
+        --n 64 128 256 --trials 3 --json chaos.json
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.chaos import PoissonProcess, adversary_names
+from repro.core.faults import FaultSchedule, RecoveryReport, measure_recovery
+from repro.core.parallel import ParallelTrialRunner
+from repro.core.rng import DEFAULT_SEED
+from repro.experiments.asciiplot import scaling_chart
+from repro.protocols.base import RankingProtocol
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
+from repro.protocols.optimal_silent import OptimalSilentSSR
+
+#: Protocols the chaos CLI can target: key -> protocol factory.
+CHAOS_PROTOCOLS: Dict[str, Callable[[int], RankingProtocol]] = {
+    "ciw": SilentNStateSSR,
+    "optimal-silent": OptimalSilentSSR,
+}
+
+
+def _stable_configuration(protocol: RankingProtocol) -> List:
+    """The stable ranked configuration chaos runs start from."""
+    if isinstance(protocol, OptimalSilentSSR):
+        return protocol.ranked_configuration()
+    if isinstance(protocol, SilentNStateSSR):
+        return list(range(protocol.n))
+    raise ValueError(f"no stable configuration for {type(protocol).__name__}")
+
+
+def _chaos_trial(
+    protocol_key: str,
+    n: int,
+    adversary: str,
+    agents: int,
+    period: float,
+    strikes: int,
+    poisson_rate: Optional[float],
+    engine: str,
+    recovery_budget: float,
+    probe_resolution: float,
+    rng: random.Random,
+) -> RecoveryReport:
+    """One seeded chaos run (top-level and picklable for the runner)."""
+    protocol = CHAOS_PROTOCOLS[protocol_key](n)
+    if poisson_rate is not None:
+        schedule = PoissonProcess(
+            poisson_rate, agents=agents, horizon=period * strikes
+        )
+    else:
+        schedule = FaultSchedule.periodic(period=period, agents=agents, count=strikes)
+    return measure_recovery(
+        protocol,
+        schedule,
+        rng=rng,
+        initial_states=_stable_configuration(protocol),
+        settle_time=10.0,  # starts stable; settling is a formality
+        max_recovery_time=recovery_budget,
+        engine=engine,
+        adversary=adversary,
+        probe_resolution=probe_resolution,
+    )
+
+
+@dataclass
+class ChaosCell:
+    """Aggregated trials for one (protocol, n) sweep cell."""
+
+    protocol: str
+    n: int
+    trials: int
+    strikes: int
+    injected: int
+    recovered: int
+    mean_recovery: float
+    worst_recovery: float
+    mean_availability: float
+
+    @property
+    def all_recovered(self) -> bool:
+        return self.recovered == self.strikes
+
+
+@dataclass
+class ChaosResult:
+    """Everything one ``repro chaos`` invocation produced."""
+
+    adversary: str
+    engine: str
+    seed: int
+    cells: List[ChaosCell] = field(default_factory=list)
+
+    @property
+    def all_recovered(self) -> bool:
+        return all(cell.all_recovered for cell in self.cells)
+
+    def to_json(self) -> Dict:
+        return {
+            "adversary": self.adversary,
+            "engine": self.engine,
+            "seed": self.seed,
+            "all_recovered": self.all_recovered,
+            "cells": [
+                {
+                    "protocol": cell.protocol,
+                    "n": cell.n,
+                    "trials": cell.trials,
+                    "strikes": cell.strikes,
+                    "injected": cell.injected,
+                    "recovered": cell.recovered,
+                    "mean_recovery": cell.mean_recovery,
+                    "worst_recovery": cell.worst_recovery,
+                    "mean_availability": cell.mean_availability,
+                }
+                for cell in self.cells
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos sweep: adversary={self.adversary} engine={self.engine} "
+            f"seed={self.seed}",
+            "",
+            f"{'protocol':<18} {'n':>6} {'strikes':>8} {'recovered':>10} "
+            f"{'mean rec':>10} {'worst rec':>10} {'avail':>7}",
+        ]
+        for cell in self.cells:
+            lines.append(
+                f"{cell.protocol:<18} {cell.n:>6} {cell.strikes:>8} "
+                f"{cell.recovered:>10} {cell.mean_recovery:>10.2f} "
+                f"{cell.worst_recovery:>10.2f} {cell.mean_availability:>7.3f}"
+            )
+        by_protocol: Dict[str, List] = {}
+        for cell in self.cells:
+            if cell.recovered:
+                by_protocol.setdefault(cell.protocol, []).append(
+                    (cell.n, max(cell.mean_recovery, 1e-9))
+                )
+        chartable = [(name, pts) for name, pts in by_protocol.items() if len(pts) >= 2]
+        if chartable:
+            lines.append("")
+            lines.append(
+                scaling_chart(
+                    "mean recovery time (parallel time) vs n", chartable
+                )
+            )
+        if not self.all_recovered:
+            lines.append("")
+            lines.append("REGRESSION: at least one strike did not recover")
+        return "\n".join(lines)
+
+
+def run_chaos(
+    *,
+    protocols: Sequence[str] = ("ciw", "optimal-silent"),
+    ns: Sequence[int] = (16, 32, 64),
+    adversary: str = "random",
+    trials: int = 3,
+    seed: int = DEFAULT_SEED,
+    agents: Optional[int] = None,
+    fraction: float = 0.125,
+    period_factor: float = 2.0,
+    strikes: int = 3,
+    poisson_rate: Optional[float] = None,
+    engine: str = "auto",
+    workers: Optional[int] = None,
+    recovery_budget_factor: float = 50.0,
+    probe_resolution: float = 1.0,
+) -> ChaosResult:
+    """Sweep ``adversary`` over ``protocols`` x ``ns``; aggregate recovery.
+
+    ``agents`` fixes the per-strike victim count; otherwise it is
+    ``max(1, fraction * n)``.  ``period_factor`` and
+    ``recovery_budget_factor`` scale with n (parallel time).  With
+    ``poisson_rate`` set, strikes follow a Poisson process at that rate
+    (per unit parallel time) over the same horizon instead of the
+    periodic schedule.
+    """
+    if adversary not in adversary_names():
+        raise ValueError(
+            f"unknown adversary {adversary!r}; known: {', '.join(adversary_names())}"
+        )
+    for key in protocols:
+        if key not in CHAOS_PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {key!r}; known: {', '.join(sorted(CHAOS_PROTOCOLS))}"
+            )
+    runner = ParallelTrialRunner(workers)
+    result = ChaosResult(adversary=adversary, engine=engine, seed=seed)
+    for key in protocols:
+        for n in ns:
+            victim_count = agents if agents is not None else max(1, int(fraction * n))
+            task = partial(
+                _chaos_trial,
+                key,
+                n,
+                adversary,
+                victim_count,
+                period_factor * n,
+                strikes,
+                poisson_rate,
+                engine,
+                recovery_budget_factor * n,
+                probe_resolution,
+            )
+            outcomes: List[RecoveryReport] = runner.map_trials(
+                task, seed=seed, labels=("chaos", adversary, key, n), trials=trials
+            )
+            records = [record for out in outcomes for record in out.records]
+            recovered = [r for r in records if r.recovered]
+            recoveries = [r.recovery_time for r in recovered]
+            availabilities = [out.availability for out in outcomes]
+            result.cells.append(
+                ChaosCell(
+                    protocol=key,
+                    n=n,
+                    trials=trials,
+                    strikes=len(records),
+                    injected=sum(r.injected for r in records),
+                    recovered=len(recovered),
+                    mean_recovery=(
+                        sum(recoveries) / len(recoveries) if recoveries else float("nan")
+                    ),
+                    worst_recovery=max(recoveries) if recoveries else float("nan"),
+                    mean_availability=(
+                        sum(availabilities) / len(availabilities)
+                        if availabilities
+                        else 0.0
+                    ),
+                )
+            )
+    return result
+
+
+def write_json(result: ChaosResult, path: str) -> None:
+    with open(path, "w", encoding="utf8") as handle:
+        json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -10,6 +10,8 @@ Examples::
     repro lint                      # static verification of all protocols
     repro lint OptimalSilentSSR     # ... of one protocol
     repro lint --audit-states       # + Table 1 state-count audit CSV
+    repro chaos                     # adversarial recovery sweep
+    repro chaos --adversary leader --n 64 128 --json chaos.json
 """
 
 from __future__ import annotations
@@ -97,6 +99,94 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the findings report to this file instead of stdout",
     )
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="adversarial fault sweep: recovery time and availability vs n",
+    )
+    chaos_parser.add_argument(
+        "--protocol",
+        nargs="+",
+        default=["ciw", "optimal-silent"],
+        metavar="KEY",
+        help="protocol keys to strike (default: ciw optimal-silent)",
+    )
+    chaos_parser.add_argument(
+        "--adversary",
+        default="random",
+        help="adversary name: random, leader, max-rank, clone, clone-leader",
+    )
+    chaos_parser.add_argument(
+        "--n",
+        nargs="+",
+        type=int,
+        default=[16, 32, 64],
+        metavar="N",
+        help="population sizes to sweep (default: 16 32 64)",
+    )
+    chaos_parser.add_argument(
+        "--trials", type=int, default=3, help="seeded trials per sweep cell"
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="root RNG seed"
+    )
+    chaos_parser.add_argument(
+        "--agents",
+        type=int,
+        default=None,
+        help="victims per strike (default: fraction of n)",
+    )
+    chaos_parser.add_argument(
+        "--fraction",
+        type=float,
+        default=0.125,
+        help="victims per strike as a fraction of n (default: 0.125)",
+    )
+    chaos_parser.add_argument(
+        "--period",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="parallel time between strikes, as a multiple of n (default: 2)",
+    )
+    chaos_parser.add_argument(
+        "--strikes", type=int, default=3, help="strikes per trial (default: 3)"
+    )
+    chaos_parser.add_argument(
+        "--poisson-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="replace the periodic schedule with Poisson strikes at RATE "
+        "per unit parallel time (over the same horizon)",
+    )
+    chaos_parser.add_argument(
+        "--engine",
+        choices=("auto", "generic", "count"),
+        default="auto",
+        help="simulation engine (default: auto)",
+    )
+    chaos_parser.add_argument(
+        "--recovery-budget",
+        type=float,
+        default=50.0,
+        metavar="FACTOR",
+        help="per-strike recovery budget, as a multiple of n (default: 50)",
+    )
+    chaos_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="W",
+        help="fan trials out over W worker processes (bit-identical results)",
+    )
+    chaos_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="additionally write the machine-readable report to PATH",
+    )
     return parser
 
 
@@ -149,6 +239,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             audit_path=args.audit_path or DEFAULT_AUDIT_PATH,
             output=args.output,
         )
+
+    if args.command == "chaos":
+        # Imported lazily: the sweep pulls in the chaos + count machinery.
+        from repro.experiments.chaos import run_chaos, write_json
+
+        try:
+            result = run_chaos(
+                protocols=args.protocol,
+                ns=args.n,
+                adversary=args.adversary,
+                trials=args.trials,
+                seed=args.seed,
+                agents=args.agents,
+                fraction=args.fraction,
+                period_factor=args.period,
+                strikes=args.strikes,
+                poisson_rate=args.poisson_rate,
+                engine=args.engine,
+                workers=args.workers,
+                recovery_budget_factor=args.recovery_budget,
+            )
+        except ValueError as exc:
+            print(f"chaos: {exc}", file=sys.stderr)
+            return 2
+        print(result.render())
+        if args.json_path:
+            write_json(result, args.json_path)
+            print(f"chaos: wrote JSON report to {args.json_path}")
+        return 0 if result.all_recovered else 1
 
     targets = all_experiments() if args.experiment == "all" else [args.experiment]
     ok = True

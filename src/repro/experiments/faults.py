@@ -14,16 +14,26 @@ Checks: every burst recovers; full-corruption recovery stays within a
 constant factor of the protocol's from-scratch stabilization time; and
 the faster protocol recovers faster, which is the paper's argument for
 caring about stabilization *time* at all.
+
+Trials run through :func:`repro.core.faults.measure_recovery` with
+``engine="auto"`` (the count engine for the silent, schema-eligible
+protocols) and fan out over worker processes when ``workers`` is set;
+per-trial RNGs derive from ``(seed, "faults", protocol, fraction,
+trial)`` either way, so results are bit-identical serial or parallel.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import random
+from functools import partial
+from typing import Callable, Dict, List, Optional
 
 from repro.analysis.stats import summarize_trials
-from repro.core.faults import FaultSchedule, measure_recovery
-from repro.core.rng import DEFAULT_SEED, make_rng
+from repro.core.faults import FaultSchedule, RecoveryReport, measure_recovery
+from repro.core.parallel import ParallelTrialRunner
+from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import ExperimentReport
+from repro.protocols.base import RankingProtocol
 from repro.protocols.cai_izumi_wada import SilentNStateSSR
 from repro.protocols.optimal_silent import OptimalSilentSSR
 from repro.protocols.sync_dictionary import SyncDictionarySSR
@@ -32,21 +42,48 @@ EXPERIMENT_ID = "faults"
 TITLE = "Recovery time and availability under transient-fault bursts"
 
 
-def _protocols(n: int):
+def _protocols(n: int) -> Dict[str, Callable[[], RankingProtocol]]:
+    """Picklable protocol factories (module-level partials, not lambdas)."""
     return {
-        "Silent-n-state-SSR": lambda: SilentNStateSSR(n),
-        "Optimal-Silent-SSR": lambda: OptimalSilentSSR(n),
-        "SyncDictionarySSR": lambda: SyncDictionarySSR(max(6, n // 2)),
+        "Silent-n-state-SSR": partial(SilentNStateSSR, n),
+        "Optimal-Silent-SSR": partial(OptimalSilentSSR, n),
+        "SyncDictionarySSR": partial(SyncDictionarySSR, max(6, n // 2)),
     }
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
+def _fault_trial(
+    factory: Callable[[], RankingProtocol],
+    agents: int,
+    rng: random.Random,
+) -> RecoveryReport:
+    """One trial: a 3-burst periodic schedule against a fresh protocol.
+
+    Top-level and picklable so :class:`ParallelTrialRunner` can ship it
+    to worker processes.  Dwell ~10n time between bursts so availability
+    reflects a duty cycle (recoveries typically take a few n).
+    """
+    protocol = factory()
+    return measure_recovery(
+        protocol,
+        FaultSchedule.periodic(period=10.0 * protocol.n, agents=agents, count=3),
+        rng=rng,
+        settle_time=500.0 * protocol.n,
+        max_recovery_time=500.0 * protocol.n,
+    )
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    workers: Optional[int] = None,
+) -> ExperimentReport:
     if quick:
         n, trials = 12, 3
         fractions = [0.25, 1.0]
     else:
         n, trials = 16, 6
         fractions = [0.125, 0.25, 0.5, 1.0]
+    runner = ParallelTrialRunner(workers)
 
     report = ExperimentReport(
         experiment_id=EXPERIMENT_ID,
@@ -68,26 +105,18 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
         for fraction in fractions:
             protocol_probe = factory()
             agents = max(1, int(fraction * protocol_probe.n))
+            outcomes: List[RecoveryReport] = runner.map_trials(
+                partial(_fault_trial, factory, agents),
+                seed=seed,
+                labels=("faults", name, fraction),
+                trials=trials,
+            )
             recoveries: List[float] = []
             availabilities: List[float] = []
             worst = 0.0
-            for trial in range(trials):
-                protocol = factory()
-                rng = make_rng(seed, "faults", name, fraction, trial)
-                # Dwell ~10n time between bursts so availability reflects
-                # a duty cycle (recoveries typically take a few n).
-                outcome = measure_recovery(
-                    protocol,
-                    FaultSchedule.periodic(
-                        period=10.0 * protocol.n, agents=agents, count=3
-                    ),
-                    rng=rng,
-                    settle_time=500.0 * protocol.n,
-                    max_recovery_time=500.0 * protocol.n,
-                )
+            for trial, outcome in enumerate(outcomes):
                 for record in outcome.records:
-                    report_ok = record.recovered
-                    if not report_ok:
+                    if not record.recovered:
                         raise RuntimeError(
                             f"{name} failed to recover from a "
                             f"{fraction:.0%} burst (trial {trial})"
@@ -109,7 +138,7 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentReport:
 
     report.add_check(
         "all-bursts-recovered",
-        passed=True,  # measure_recovery raised otherwise
+        passed=True,  # the loop above raised otherwise
         measured=f"{sum(len(v) for v in recovery_by_protocol.values())} cells",
         expected="self-stabilization: recovery from every burst",
     )

@@ -66,6 +66,15 @@ class SilentNStateSSR(RankingProtocol[int]):
     def is_pair_null(self, a: int, b: int) -> bool:
         return a != b
 
+    def clone_state(self, state: int) -> int:
+        return state  # ints are immutable
+
+    def silent_class(self, state: int) -> int:
+        # Two agents at *distinct* ranks are null in both orders, so the
+        # rank itself partitions states into mutually-null classes (see
+        # CountSimulation's "active" mode for the contract).
+        return state
+
     def state_count(self) -> int:
         return self.n
 

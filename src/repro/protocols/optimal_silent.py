@@ -37,6 +37,7 @@ intended ``<= n``.
 
 from __future__ import annotations
 
+import copy
 import random
 from dataclasses import dataclass
 from enum import Enum
@@ -260,6 +261,18 @@ class OptimalSilentSSR(RankingProtocol[OptimalSilentAgent]):
         return (
             a.role is Role.SETTLED and b.role is Role.SETTLED and a.rank != b.rank
         )
+
+    def clone_state(self, state: OptimalSilentAgent) -> OptimalSilentAgent:
+        # All fields are scalars, so a shallow copy is an independent state.
+        return copy.copy(state)
+
+    def silent_class(self, state: OptimalSilentAgent) -> Optional[int]:
+        # Settled agents at distinct ranks are null in both orders; any
+        # pair involving an Unsettled or Resetting agent is effective,
+        # so those states get no class (always active).
+        if state.role is Role.SETTLED:
+            return state.rank
+        return None
 
     def state_count(self) -> int:
         """Exact state count: roles partition the space, so counts add.

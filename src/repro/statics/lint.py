@@ -11,13 +11,20 @@ per protocol, instantiated at small fixed populations:
    required to cover the declared space, not exceed it;
 3. **transition sanitizing** -- the state-object contract checks of
    :mod:`repro.statics.sanitize`, swept over the whole battery;
-4. **small-n model checking** -- for protocols with enumerable schemas,
+4. **fault-model validation** -- ``random_state`` draws and the
+   post-strike configurations of every registered chaos adversary must
+   stay inside the declared schema (rules ``fault-model-random-state``,
+   ``fault-model-corruption``), and for silent protocols exposing
+   ``silent_class`` the cross-class null-pair contract the count
+   engine's active mode relies on is checked exhaustively
+   (``silent-class-soundness``);
+5. **small-n model checking** -- for protocols with enumerable schemas,
    the exhaustive certification of :mod:`repro.statics.modelcheck` at
    n = 2, 3, 4 (closure, determinism, null-pair consistency, and for
    silent protocols silence + probability-1 stabilization).  Passing
    rules are reported as INFO findings so the certificate is visible in
    the report;
-5. optionally (``--audit-states``) a **state-count audit**: the
+6. optionally (``--audit-states``) a **state-count audit**: the
    schema-enumerated state count must equal both the protocol's
    ``state_count()`` and the Table 1 closed form from
    :mod:`repro.analysis.statecount`; rows land in
@@ -233,6 +240,159 @@ def _sanitize_findings(target: LintTarget, protocol: Any, schema: Any) -> List[F
     )
 
 
+def _fault_model_findings(
+    target: LintTarget, protocol: Any, schema: Any
+) -> List[Finding]:
+    """Fault-model check: everything the fault machinery can write into an
+    agent must stay inside the declared state space.
+
+    Three rules:
+
+    * ``fault-model-random-state`` -- ``random_state`` draws (the raw
+      material of every corruption) validate against the schema;
+    * ``fault-model-corruption`` -- each registered chaos adversary is
+      struck against a small simulation and every post-strike agent
+      state still validates;
+    * ``silent-class-soundness`` -- for silent protocols exposing
+      ``silent_class``, any two states with distinct non-``None``
+      classes must be null pairs in both orders (the contract the count
+      engine's active mode builds its skip distribution on).
+    """
+    # Imported lazily: the static passes should not drag the dynamic
+    # fault machinery in at module import.
+    from repro.core.chaos import (
+        SimulationSurface,
+        adversary_names,
+        make_adversary,
+    )
+    from repro.core.simulation import Simulation
+
+    findings: List[Finding] = []
+
+    rng = random.Random(LINT_SEED)
+    draw_problems: List[str] = []
+    for draw in range(64):
+        state = protocol.random_state(rng)
+        draw_problems.extend(
+            f"draw {draw}: {problem}" for problem in schema.validate(state)
+        )
+    if draw_problems:
+        findings.append(
+            Finding(
+                Severity.ERROR,
+                target.name,
+                "fault-model-random-state",
+                "random_state leaves the declared state space: "
+                f"{'; '.join(draw_problems[:4])}",
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                Severity.INFO,
+                target.name,
+                "fault-model-random-state",
+                "certified: 64 random_state draws inside the declared schema",
+            )
+        )
+
+    for adversary_name in adversary_names():
+        adversary = make_adversary(adversary_name)
+        sim = Simulation(protocol, rng=random.Random(LINT_SEED))
+        strike_rng = random.Random(LINT_SEED)
+        sim.run(4 * protocol.n)
+        adversary.strike(
+            SimulationSurface(sim), max(1, protocol.n // 2), strike_rng
+        )
+        problems = [
+            f"agent {index}: {problem}"
+            for index, state in enumerate(sim.states)
+            for problem in schema.validate(state)
+        ]
+        if problems:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    target.name,
+                    "fault-model-corruption",
+                    f"adversary '{adversary_name}' leaves the declared state "
+                    f"space: {'; '.join(problems[:4])}",
+                    render_witness_configuration(
+                        [protocol.describe(state) for state in sim.states]
+                    ),
+                )
+            )
+    if not any(f.rule_id == "fault-model-corruption" for f in findings):
+        findings.append(
+            Finding(
+                Severity.INFO,
+                target.name,
+                "fault-model-corruption",
+                f"certified: {len(adversary_names())} adversaries strike "
+                "inside the declared schema",
+            )
+        )
+
+    silent_class = getattr(protocol, "silent_class", None)
+    if protocol.silent and silent_class is not None and schema.enumerable:
+        states = schema.enumerate_states()
+        if len(states) > 2000:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    target.name,
+                    "silent-class-soundness",
+                    f"skipped: {len(states)} states is too many for the "
+                    "pairwise soundness sweep",
+                )
+            )
+        else:
+            witnesses: List[str] = []
+            pairs = 0
+            classed = [
+                (state, cls)
+                for state in states
+                if (cls := silent_class(state)) is not None
+            ]
+            for state_a, class_a in classed:
+                for state_b, class_b in classed:
+                    if class_a == class_b:
+                        continue
+                    pairs += 1
+                    if not protocol.is_pair_null(state_a, state_b):
+                        witnesses.append(
+                            f"{protocol.describe(state_a)} x "
+                            f"{protocol.describe(state_b)} is not null"
+                        )
+                        if len(witnesses) >= 4:
+                            break
+                if len(witnesses) >= 4:
+                    break
+            if witnesses:
+                findings.append(
+                    Finding(
+                        Severity.ERROR,
+                        target.name,
+                        "silent-class-soundness",
+                        "silent_class claims null pairs that are not null "
+                        "(the count engine's active mode would skip real "
+                        "interactions)",
+                        witness="; ".join(witnesses),
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        Severity.INFO,
+                        target.name,
+                        "silent-class-soundness",
+                        f"certified: all {pairs} cross-class ordered pairs "
+                        "are null",
+                    )
+                )
+    return findings
+
+
 def _model_check_findings(target: LintTarget) -> List[Finding]:
     findings: List[Finding] = []
     for n in target.model_check_ns:
@@ -385,6 +545,7 @@ def run_lint(
         schema = schema_for(protocol)
         result.findings.extend(_battery_findings(target, protocol, schema))
         result.findings.extend(_sanitize_findings(target, protocol, schema))
+        result.findings.extend(_fault_model_findings(target, protocol, schema))
         result.findings.extend(_model_check_findings(target))
         if audit_states:
             result.audit_rows.extend(_audit_rows(target, result.findings))

@@ -7,6 +7,9 @@ from repro.core.adversary import (
     corrupted_configuration,
     identical_configuration,
 )
+from repro.core.countsim import CountSimulation, count_engine_eligible
+from repro.core.rng import make_rng
+from repro.core.simulation import Simulation
 from repro.protocols.cai_izumi_wada import SilentNStateSSR
 from repro.protocols.optimal_silent import OptimalSilentSSR
 from repro.protocols.sublinear.protocol import SublinearTimeSSR
@@ -84,3 +87,52 @@ class TestBattery:
         protocol = SublinearTimeSSR(6, h=1)
         battery = adversarial_battery(protocol, rng)
         assert protocol.is_correct(battery["already-ranked"])
+
+
+_TRAP_FACTORIES = [SilentNStateSSR, OptimalSilentSSR]
+
+
+class TestTrapsStabilizeOnBothEngines:
+    """Every battery trap stabilizes at small n on *both* engines.
+
+    The battery is the static lint's input; here it doubles as a dynamic
+    stress suite: from each trap the protocol must reach (and the count
+    engine must certify) a correct silent configuration.
+    """
+
+    @pytest.mark.parametrize("factory", _TRAP_FACTORIES, ids=["ciw", "optimal"])
+    def test_generic_engine(self, factory, rng):
+        protocol = factory(8)
+        battery = adversarial_battery(protocol, rng)
+        for label, states in battery.items():
+            monitor = protocol.convergence_monitor()
+            sim = Simulation(
+                protocol,
+                [protocol.clone_state(state) for state in states],
+                rng=make_rng(3, "trap", label),
+                monitors=[monitor],
+            )
+            for _ in range(40):
+                if monitor.correct:
+                    break
+                sim.run(20_000)
+            assert monitor.correct, f"{label}: not correct after {sim.interactions}"
+
+    @pytest.mark.parametrize("factory", _TRAP_FACTORIES, ids=["ciw", "optimal"])
+    def test_count_engine(self, factory, rng):
+        protocol = factory(8)
+        assert count_engine_eligible(protocol)
+        battery = adversarial_battery(protocol, rng)
+        for label, states in battery.items():
+            sim = CountSimulation(
+                factory(8),
+                [protocol.clone_state(state) for state in states],
+                rng=make_rng(4, "trap", label),
+            )
+            for _ in range(40):
+                if sim.correct and sim.silent:
+                    break
+                sim.run(20_000)
+            assert sim.correct and sim.silent, (
+                f"{label}: not stable after {sim.interactions}"
+            )

@@ -2,15 +2,24 @@
 
 The contract under test: results are bit-identical whether trials run
 serially or across worker processes, because each trial's RNG is derived
-inside the worker from the same ``(seed, *labels, index)`` path.
+inside the worker from the same ``(seed, *labels, index)`` path -- and
+that contract survives task errors, worker crashes, timeouts and
+checkpoint/resume.
 """
 
+import multiprocessing
+import os
 import random
+import time
 from functools import partial
 
 import pytest
 
-from repro.core.parallel import ParallelTrialRunner
+from repro.core.parallel import (
+    ParallelTrialRunner,
+    TrialTaskError,
+    TrialTimeoutError,
+)
 from repro.core.rng import make_rng
 from repro.experiments.common import repeat_convergence
 from repro.protocols.cai_izumi_wada import SilentNStateSSR
@@ -31,6 +40,48 @@ def make_ciw(n: int) -> SilentNStateSSR:
 
 def worst_case_states(protocol, rng):
     return protocol.worst_case_configuration()
+
+
+def fail_if_matches(target: float, rng: random.Random) -> float:
+    """Fails exactly on the trial whose first draw equals ``target``."""
+    value = rng.random()
+    if value == target:
+        raise ValueError("boom")
+    return value
+
+
+def slow_draw(delay: float, rng: random.Random) -> float:
+    time.sleep(delay)
+    return rng.random()
+
+
+def crash_worker_once(sentinel: str, rng: random.Random) -> float:
+    """Kills its worker process the first time any trial reaches it.
+
+    The sentinel file doubles as an atomic once-flag and as evidence
+    (for the test) that a crash really happened.
+    """
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return rng.random()
+    os.close(fd)
+    os._exit(1)
+
+
+def crash_every_worker(rng: random.Random) -> float:
+    """Kills any worker it runs in; computes normally in-process."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return rng.random()
+
+
+def logging_draw(path: str, rng: random.Random) -> float:
+    """Draws and appends to ``path`` -- an invocation counter for tests."""
+    value = rng.random()
+    with open(path, "a", encoding="utf8") as handle:
+        handle.write(f"{value}\n")
+    return value
 
 
 class TestParallelTrialRunner:
@@ -86,3 +137,100 @@ class TestParallelTrialRunner:
         )
         assert serial == parallel
         assert all(outcome.converged for outcome in serial)
+
+    def test_invalid_timeout_and_retries(self):
+        with pytest.raises(ValueError):
+            ParallelTrialRunner(timeout=0)
+        with pytest.raises(ValueError):
+            ParallelTrialRunner(pool_retries=-1)
+
+
+class TestFaultTolerance:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_task_error_carries_trial_index(self, workers):
+        target = make_rng(8, "err", 2).random()
+        with pytest.raises(TrialTaskError) as info:
+            ParallelTrialRunner(workers).map_trials(
+                partial(fail_if_matches, target), seed=8, labels=("err",), trials=4
+            )
+        assert info.value.index == 2
+        assert "ValueError: boom" in str(info.value)
+        assert "ValueError" in info.value.remote_traceback
+
+    def test_per_trial_timeout(self):
+        runner = ParallelTrialRunner(2, timeout=0.25)
+        with pytest.raises(TrialTimeoutError) as info:
+            runner.map_trials(
+                partial(slow_draw, 3.0), seed=9, labels=("slow",), trials=2
+            )
+        assert info.value.index == 0
+        assert info.value.timeout == 0.25
+
+    def test_worker_crash_retries_only_missing_trials(self, tmp_path):
+        """A mid-run worker crash loses no completed trials and the final
+        results are bit-identical to a fault-free serial run."""
+        sentinel = str(tmp_path / "crashed")
+        results = ParallelTrialRunner(2).map_trials(
+            partial(crash_worker_once, sentinel),
+            seed=12,
+            labels=("crash",),
+            trials=6,
+        )
+        assert os.path.exists(sentinel)  # a worker really died
+        expected = [make_rng(12, "crash", i).random() for i in range(6)]
+        assert results == expected
+
+    def test_pool_exhaustion_falls_back_to_serial(self):
+        """When every round breaks the pool, trials still finish serially."""
+        results = ParallelTrialRunner(2, pool_retries=1).map_trials(
+            crash_every_worker, seed=13, labels=("hopeless",), trials=3
+        )
+        assert results == [make_rng(13, "hopeless", i).random() for i in range(3)]
+
+    def test_checkpoint_resume_skips_finished_trials(self, tmp_path):
+        checkpoint = str(tmp_path / "journal.pkl")
+        log = str(tmp_path / "invocations.log")
+        task = partial(logging_draw, log)
+        first = ParallelTrialRunner(checkpoint=checkpoint).map_trials(
+            task, seed=14, labels=("ckpt",), trials=3
+        )
+        resumed = ParallelTrialRunner(checkpoint=checkpoint).map_trials(
+            task, seed=14, labels=("ckpt",), trials=5
+        )
+        assert resumed[:3] == first
+        assert resumed == [make_rng(14, "ckpt", i).random() for i in range(5)]
+        with open(log, encoding="utf8") as handle:
+            invocations = handle.read().splitlines()
+        assert len(invocations) == 5  # trials 0-2 were never recomputed
+
+    def test_checkpoint_distinguishes_run_keys(self, tmp_path):
+        checkpoint = str(tmp_path / "journal.pkl")
+        runner = ParallelTrialRunner(checkpoint=checkpoint)
+        a = runner.map_trials(draw_uniform, seed=1, labels=("a",), trials=2)
+        b = runner.map_trials(draw_uniform, seed=2, labels=("b",), trials=2)
+        assert a != b
+        assert runner.map_trials(draw_uniform, seed=1, labels=("a",), trials=2) == a
+
+    def test_checkpoint_tolerates_truncated_tail(self, tmp_path):
+        checkpoint = str(tmp_path / "journal.pkl")
+        runner = ParallelTrialRunner(checkpoint=checkpoint)
+        expected = runner.map_trials(draw_uniform, seed=15, labels=("t",), trials=3)
+        with open(checkpoint, "ab") as handle:
+            handle.write(b"\x80garbage-from-a-kill-9")
+        assert (
+            runner.map_trials(draw_uniform, seed=15, labels=("t",), trials=3)
+            == expected
+        )
+
+    def test_pooled_run_writes_checkpoint(self, tmp_path):
+        checkpoint = str(tmp_path / "journal.pkl")
+        pooled = ParallelTrialRunner(2, checkpoint=checkpoint).map_trials(
+            draw_uniform, seed=16, labels=("pc",), trials=4
+        )
+        # A later serial runner resumes purely from the journal.
+        log_free = ParallelTrialRunner(checkpoint=checkpoint).map_trials(
+            draw_uniform, seed=16, labels=("pc",), trials=4
+        )
+        assert pooled == log_free == [
+            make_rng(16, "pc", i).random() for i in range(4)
+        ]
