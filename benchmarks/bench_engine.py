@@ -153,7 +153,7 @@ def _smoke_generic(n: int, steps: int, seed: int) -> dict:
     }
 
 
-def _smoke_count(n: int, seed: int) -> dict:
+def _smoke_count(n: int, seed: int, recorder=None) -> dict:
     """Time the count engine to silence from the CIW worst case.
 
     The timed region includes construction (pair classification is the
@@ -164,18 +164,34 @@ def _smoke_count(n: int, seed: int) -> dict:
     states = protocol.counts_to_configuration(worst_case_ciw_counts(n))
     rng = make_rng(seed, "smoke-count", n)
     start = time.perf_counter()
-    sim = CountSimulation(protocol, states, rng=rng, mode="jump")
+    sim = CountSimulation(protocol, states, rng=rng, mode="jump", recorder=recorder)
     sim.run_until_silent()
     elapsed = time.perf_counter() - start
     return {
         "engine": "count",
         "protocol": "SilentNStateSSR",
         "n": n,
+        "recording": recorder is not None,
         "interactions": sim.interactions,
         "events": sim.events,
         "seconds": round(elapsed, 6),
         "interactions_per_second": sim.interactions / elapsed,
     }
+
+
+def _smoke_count_recording(n: int, seed: int) -> dict:
+    """The n=1024 count cell re-run with a live metrics recorder.
+
+    Same seed and workload as the unrecorded cell (the run is
+    bit-identical: recording never consumes engine randomness), so the
+    throughput delta is exactly the observability overhead.
+    """
+    from repro.obs import MetricsRecorder
+
+    recorder = MetricsRecorder(sample_every=4096)
+    cell = _smoke_count(n, seed, recorder=recorder)
+    cell["recorder_aggregates"] = recorder.aggregates()
+    return cell
 
 
 def main(argv=None) -> int:
@@ -196,10 +212,16 @@ def main(argv=None) -> int:
         _smoke_generic(1024, 200_000, args.seed),
         _smoke_count(1024, args.seed),
         _smoke_count(8192, args.seed),
+        _smoke_count_recording(1024, args.seed),
     ]
     generic_rate = cells[0]["interactions_per_second"]
     count_rate = cells[1]["interactions_per_second"]
     speedup = count_rate / generic_rate
+    recording_rate = cells[3]["interactions_per_second"]
+    # Informational: single-pass timings are noisy, so the hard gate
+    # stays the count/generic speedup ratio (recording overhead would
+    # sink it long before users noticed anything else).
+    recording_overhead_pct = 100.0 * (1.0 - recording_rate / count_rate)
 
     summary = {
         "benchmark": "engine-throughput-smoke",
@@ -208,6 +230,7 @@ def main(argv=None) -> int:
         "count_vs_generic_speedup_n1024": speedup,
         "min_required_speedup": MIN_COUNT_SPEEDUP,
         "speedup_check_passed": speedup >= MIN_COUNT_SPEEDUP,
+        "recording_overhead_pct_n1024": round(recording_overhead_pct, 2),
     }
     with open(args.json, "w") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
@@ -220,6 +243,7 @@ def main(argv=None) -> int:
             f"({cell['interactions']:.3e} interactions in {cell['seconds']:.3f}s)"
         )
     print(f"count/generic speedup at n=1024: {speedup:.1f}x (required >= {MIN_COUNT_SPEEDUP:.0f}x)")
+    print(f"recording overhead at n=1024: {recording_overhead_pct:+.1f}%")
     if speedup < MIN_COUNT_SPEEDUP:
         print("FAIL: count engine below required speedup", file=sys.stderr)
         return 1

@@ -56,6 +56,9 @@ from typing import (
 from repro.core.protocol import PopulationProtocol
 from repro.core.scheduler import Pair, Scheduler
 from repro.core.simulation import Simulation
+from repro.obs.log import get_logger
+
+_LOG = get_logger("chaos")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.countsim import CountSimulation
@@ -451,9 +454,13 @@ class Adversary:
         """
         victims = self.selector.select(surface, count, rng)
         if not victims:
+            _LOG.debug("adversary %s found no victims (asked for %d)", self.name, count)
             return 0
         states = self.corruption.corrupt_states(surface, len(victims), rng)
         surface.overwrite(victims, states)
+        _LOG.debug(
+            "adversary %s overwrote %d agent(s)", self.name, len(victims)
+        )
         return len(victims)
 
 

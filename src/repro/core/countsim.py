@@ -75,11 +75,13 @@ n=8192+ instead of n~256.
 from __future__ import annotations
 
 import random
+import time
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple, TypeVar
 
 from repro.core.errors import NotSilentError
 from repro.core.fastpath import _geometric
 from repro.core.protocol import PopulationProtocol, check_population
+from repro.obs.context import current_recorder
 from repro.statics.schema import StateSchema, has_schema, schema_for
 
 S = TypeVar("S")
@@ -251,6 +253,16 @@ class CountSimulation:
         In ``auto`` mode, the null-gap (consecutive interactions without
         a configuration change) that triggers the one-way switch to jump
         mode.  Defaults to ``max(64, n)``.
+    recorder:
+        Optional :class:`~repro.obs.metrics.MetricsRecorder`; defaults to
+        the ambient recorder (see :mod:`repro.obs.context`).  When
+        present, the engine samples its O(1) bookkeeping (leader count,
+        rank coverage, distinct states, null fraction) every
+        ``recorder.sample_every`` effective events, emits convergence /
+        regression events, and credits throughput; with
+        ``recorder.profile`` it additionally times the pair-sampling,
+        transition and resync stages.  With no recorder every hook is a
+        single predicate check or absent entirely.
 
     Attributes
     ----------
@@ -275,6 +287,7 @@ class CountSimulation:
         rng: random.Random,
         mode: str = "auto",
         switch_after: Optional[int] = None,
+        recorder: Optional[Any] = None,
     ):
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -312,6 +325,13 @@ class CountSimulation:
         n = protocol.n
         self.n = n
         self._ordered_pairs = n * (n - 1)
+
+        # -- observability (armed at the end of __init__, so initial
+        # -- configuration loading records neither samples nor events) --
+        self._obs: Optional[Any] = None
+        self._profile = False
+        self._obs_next = 0
+        self._occupied = 0  # slots with non-zero count (distinct states)
 
         # -- slot tables: one slot per distinct state key ever seen -----
         self._slot_of_key: Dict[Hashable, int] = {}
@@ -359,6 +379,12 @@ class CountSimulation:
         self._refresh()
         if mode == "jump":
             self._enter_jump_mode()
+
+        obs = recorder if recorder is not None else current_recorder()
+        if obs is not None:
+            self._obs = obs
+            self._profile = bool(getattr(obs, "profile", False))
+            self._obs_next = obs.sample_every
 
     # -- public surface ------------------------------------------------
 
@@ -420,8 +446,22 @@ class CountSimulation:
         does not, keeping ``interactions`` at the point silence was
         established).
         """
+        if self._obs is None:
+            self._advance(interactions)
+            return
+        before = self.interactions
+        start = time.perf_counter()
+        try:
+            self._advance(interactions)
+        finally:
+            self._obs.count_interactions(
+                self.interactions - before, time.perf_counter() - start
+            )
+
+    def _advance(self, interactions: int) -> None:
         deadline = self.interactions + interactions
         rng = self.rng
+        profile = self._profile
         while self.interactions < deadline:
             if self._mode == "jump":
                 tree = self._pair_tree
@@ -437,7 +477,12 @@ class CountSimulation:
                     return
                 self.interactions = nxt
                 self.events += 1
+                start = time.perf_counter() if profile else 0.0
                 si, sj = self._pair_list[tree.sample(rng)]
+                if profile:
+                    self._obs.add_stage_time(
+                        "countsim.pair_sampling", time.perf_counter() - start
+                    )
                 self._interact(si, sj)
             elif self._mode == "active":
                 active = self._active_tree.total()
@@ -455,6 +500,7 @@ class CountSimulation:
                     return
                 self.interactions = nxt
                 self.events += 1
+                start = time.perf_counter() if profile else 0.0
                 # Conditioned on "not passive-passive", the initiator's
                 # agent lies in an active slot with probability
                 # active * (n - 1) / effective; otherwise the initiator
@@ -468,6 +514,10 @@ class CountSimulation:
                 else:
                     si = self._passive_tree.sample(rng)
                     sj = self._active_tree.sample(rng)
+                if profile:
+                    self._obs.add_stage_time(
+                        "countsim.pair_sampling", time.perf_counter() - start
+                    )
                 self._interact(si, sj)
             else:
                 self._interaction_step()
@@ -531,6 +581,8 @@ class CountSimulation:
         old = self._counts[slot]
         self._counts[slot] = new
         self._count_tree.set(slot, new)
+        if (old == 0) != (new == 0):
+            self._occupied += 1 if old == 0 else -1
         rank = self._slot_rank[slot]
         if rank:
             rank_counts = self._rank_counts
@@ -553,9 +605,17 @@ class CountSimulation:
         now_correct = self._good == self.n
         if now_correct and not self.correct:
             self.streak_start = self.interactions
+            if self._obs is not None:
+                self._obs.event(
+                    "convergence", t=self.interactions / self.n, engine="count"
+                )
         elif self.correct and not now_correct:
             self.streak_start = None
             self.regressions += 1
+            if self._obs is not None:
+                self._obs.event(
+                    "regression", t=self.interactions / self.n, engine="count"
+                )
         self.correct = now_correct
 
     # -- stepping ------------------------------------------------------
@@ -563,15 +623,26 @@ class CountSimulation:
     def _interaction_step(self) -> None:
         tree = self._count_tree
         rng = self.rng
+        profile = self._profile
+        start = time.perf_counter() if profile else 0.0
         si = tree.sample(rng)
         tree.add(si, -1)  # the responder is a *different* agent
         sj = tree.sample(rng)
         tree.add(si, +1)
+        if profile:
+            self._obs.add_stage_time(
+                "countsim.pair_sampling", time.perf_counter() - start
+            )
         self.interactions += 1
         self.events += 1
         self._interact(si, sj)
 
     def _interact(self, si: int, sj: int) -> None:
+        obs = self._obs
+        if obs is not None and self.events >= self._obs_next:
+            self._obs_sample()
+        profile = self._profile
+        start = time.perf_counter() if profile else 0.0
         entry = self._memo.get((si, sj), False)
         if entry is False:
             # First occurrence of this ordered state pair: probe it.
@@ -590,6 +661,8 @@ class CountSimulation:
             tb = self._slot_for_state(out_b)
         else:
             ta, tb = entry  # type: ignore[misc]
+        if profile:
+            obs.add_stage_time("countsim.transition", time.perf_counter() - start)
         self._apply(si, sj, ta, tb)
 
     def _apply(self, si: int, sj: int, ta: int, tb: int) -> None:
@@ -603,6 +676,8 @@ class CountSimulation:
         changed = [slot for slot, d in delta.items() if d]
         if not changed:
             return
+        profile = self._profile
+        start = time.perf_counter() if profile else 0.0
         counts = self._counts
         for slot in changed:
             self._set_count(slot, counts[slot] + delta[slot])
@@ -619,9 +694,31 @@ class CountSimulation:
                     ci = counts[i]
                     weight = ci * (ci - 1) if i == j else ci * counts[j]
                     pair_tree.set(pidx, weight)
+        if profile:
+            self._obs.add_stage_time("countsim.resync", time.perf_counter() - start)
         self.changes += 1
         self._last_change = self.interactions
         self._refresh()
+
+    def _obs_sample(self) -> None:
+        """Emit one sampled time-series point from O(1) bookkeeping."""
+        obs = self._obs
+        self._obs_next = self.events + obs.sample_every
+        interactions = self.interactions
+        obs.sample(
+            t=interactions / self.n,
+            interactions=interactions,
+            events=self.events,
+            changes=self.changes,
+            leaders=self._rank_counts[1],
+            rank_coverage=self._good,
+            distinct_states=self._occupied,
+            null_fraction=(
+                1.0 - self.changes / interactions if interactions > 0 else 0.0
+            ),
+            engine="count",
+            mode=self._mode,
+        )
 
     # -- jump mode -----------------------------------------------------
 
@@ -793,6 +890,8 @@ class CountSimulation:
             raise ValueError(
                 f"got {len(victims)} victims but {len(new_states)} states"
             )
+        profile = self._profile
+        start = time.perf_counter() if profile else 0.0
         if self._mode == "jump":
             self._exit_jump_mode()
         counts = self._counts
@@ -803,4 +902,6 @@ class CountSimulation:
             target = self._slot_for_state(self._clone(state))
             self._set_count(target, counts[target] + 1)
         self._last_change = self.interactions
+        if profile:
+            self._obs.add_stage_time("countsim.resync", time.perf_counter() - start)
         self._refresh()

@@ -25,8 +25,9 @@ battery.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, TypeVar, Union
+from typing import Any, ContextManager, List, Optional, Sequence, TypeVar, Union
 
 from repro.core.chaos import (
     Adversary,
@@ -40,6 +41,8 @@ from repro.core.configuration import is_silent
 from repro.core.countsim import CountSimulation, count_engine_eligible
 from repro.core.scheduler import Scheduler
 from repro.core.simulation import Simulation
+from repro.obs.context import current_recorder
+from repro.obs.metrics import SampledMetricsMonitor
 from repro.protocols.base import RankingProtocol
 
 S = TypeVar("S")
@@ -162,15 +165,23 @@ class _GenericRecoveryEngine:
         rng: random.Random,
         certify_silence: bool,
         scheduler: Optional[Scheduler],
+        recorder: Optional[Any] = None,
     ):
         self.protocol = protocol
         self.monitor = protocol.convergence_monitor()
+        monitors: List[Any] = [self.monitor]
+        if recorder is not None:
+            self.monitor.recorder = recorder
+            monitors.append(
+                SampledMetricsMonitor(recorder, self.monitor, protocol.n)
+            )
         self.sim = Simulation(
             protocol,
             initial_states if initial_states is not None else None,
             rng=rng,
             scheduler=scheduler,
-            monitors=[self.monitor],
+            monitors=monitors,
+            recorder=recorder,
         )
         self.certify = certify_silence
         self.surface = SimulationSurface(self.sim)
@@ -206,6 +217,7 @@ class _CountRecoveryEngine:
         initial_states: Optional[Sequence[S]],
         rng: random.Random,
         certify_silence: bool,
+        recorder: Optional[Any] = None,
     ):
         mode = (
             "active"
@@ -217,6 +229,7 @@ class _CountRecoveryEngine:
             list(initial_states) if initial_states is not None else None,
             rng=rng,
             mode=mode,
+            recorder=recorder,
         )
         self.certify = certify_silence
         self.surface = CountSurface(self.sim)
@@ -255,6 +268,7 @@ def measure_recovery(
     adversary: Union[None, str, Adversary] = None,
     probe_resolution: float = 1.0,
     scheduler: Optional[Scheduler] = None,
+    recorder: Optional[Any] = None,
 ) -> RecoveryReport:
     """Run a fault process and measure per-strike recovery times.
 
@@ -286,6 +300,12 @@ def measure_recovery(
         Optional custom scheduler (e.g. a
         :class:`~repro.core.chaos.FaultySchedulerAdapter`); forces the
         generic engine.
+    recorder:
+        Optional :class:`~repro.obs.metrics.MetricsRecorder`; defaults
+        to the ambient recorder.  When present, strikes and recoveries
+        are recorded as events, the live ``fault_backlog`` gauge tracks
+        unrecovered strikes, the settle / recover / dwell phases are
+        timed, and the engine underneath samples its time-series.
 
     ``schedule`` may be a :class:`FaultSchedule` or any
     :class:`~repro.core.chaos.FaultProcess` (e.g. Poisson corruption).
@@ -320,12 +340,19 @@ def measure_recovery(
         and protocol.silent
         and count_engine_eligible(protocol)
     )
+    obs = recorder if recorder is not None else current_recorder()
+
+    def phase(name: str) -> ContextManager[None]:
+        return obs.phase(name) if obs is not None else nullcontext()
+
     eng: Union[_GenericRecoveryEngine, _CountRecoveryEngine]
     if use_count:
-        eng = _CountRecoveryEngine(protocol, initial_states, rng, certify_silence)
+        eng = _CountRecoveryEngine(
+            protocol, initial_states, rng, certify_silence, recorder=obs
+        )
     else:
         eng = _GenericRecoveryEngine(
-            protocol, initial_states, rng, certify_silence, scheduler
+            protocol, initial_states, rng, certify_silence, scheduler, recorder=obs
         )
 
     report = RecoveryReport()
@@ -351,7 +378,8 @@ def measure_recovery(
             advance_chunk(deadline)
         return (eng.ticks() - start) / n
 
-    first = advance_until_stable(settle_time)
+    with phase("settle"):
+        first = advance_until_stable(settle_time)
     if first != first:  # NaN: never settled
         raise RuntimeError(
             f"protocol failed to stabilize within settle_time={settle_time}"
@@ -362,12 +390,27 @@ def measure_recovery(
     origin = eng.ticks()
     for event in process.events(rng):
         target = origin + int(round(event.at * n))
-        while eng.ticks() < target:
-            advance_chunk(target)
+        with phase("dwell"):
+            while eng.ticks() < target:
+                advance_chunk(target)
         struck = adversary.strike(eng.surface, event.agents, rng)
         broke = not eng.correct()
-        elapsed = advance_until_stable(max_recovery_time)
+        if obs is not None:
+            obs.inc_gauge("fault_backlog")
+            obs.event(
+                "strike",
+                t=eng.ticks() / n,
+                agents=event.agents,
+                injected=struck,
+                broke_correctness=broke,
+                adversary=getattr(adversary, "name", type(adversary).__name__),
+            )
+        with phase("recover"):
+            elapsed = advance_until_stable(max_recovery_time)
         recovered = elapsed == elapsed  # not NaN
+        if obs is not None and recovered:
+            obs.inc_gauge("fault_backlog", -1.0)
+            obs.event("recovery", t=eng.ticks() / n, recovery_time=elapsed)
         report.records.append(
             RecoveryRecord(
                 burst=FaultBurst(at=event.at, agents=event.agents),

@@ -60,7 +60,24 @@ class ConvergenceMonitor(Monitor[S]):
         self.streak_start: Optional[int] = None
         #: Number of times correctness was lost after having held.
         self.regressions = 0
+        #: Optional :class:`repro.obs.metrics.MetricsRecorder`; when set,
+        #: correctness transitions are emitted as ``convergence`` /
+        #: ``regression`` events.  Duck-typed to keep this module free of
+        #: observability imports.
+        self.recorder = None
         self._pending: Tuple[Optional[int], Optional[int]] = (None, None)
+
+    # -- O(1) gauges (read by the sampled-metrics hooks) ----------------
+
+    @property
+    def leaders(self) -> int:
+        """Number of agents currently holding rank 1."""
+        return self._counts.get(1, 0)
+
+    @property
+    def rank_coverage(self) -> int:
+        """Number of ranks in ``1..n`` currently covered exactly once."""
+        return self._good
 
     # -- internal ------------------------------------------------------
 
@@ -79,9 +96,17 @@ class ConvergenceMonitor(Monitor[S]):
         now_correct = self._good == self.n
         if now_correct and not self.correct:
             self.streak_start = step
+            if self.recorder is not None:
+                self.recorder.event(
+                    "convergence", t=step / self.n, engine="generic"
+                )
         elif self.correct and not now_correct:
             self.streak_start = None
             self.regressions += 1
+            if self.recorder is not None:
+                self.recorder.event(
+                    "regression", t=step / self.n, engine="generic"
+                )
         self.correct = now_correct
 
     # -- Monitor interface ---------------------------------------------
@@ -94,7 +119,12 @@ class ConvergenceMonitor(Monitor[S]):
         self.correct = False
         self.streak_start = None
         self.regressions = 0
+        # A (re)start is a resync, not a correctness transition: fault
+        # surfaces call on_start after every strike, and emitting
+        # convergence events from here would count resyncs as recoveries.
+        recorder, self.recorder = self.recorder, None
         self._refresh(step=0)
+        self.recorder = recorder
 
     def before_step(self, step: int, i: int, j: int, state_i: S, state_j: S) -> None:
         self._pending = (self.rank_of(state_i), self.rank_of(state_j))

@@ -43,6 +43,7 @@ from __future__ import annotations
 import os
 import pickle
 import random
+import time
 import traceback
 from typing import (
     Any,
@@ -56,6 +57,10 @@ from typing import (
 )
 
 from repro.core.rng import Label, make_rng
+from repro.obs.context import current_recorder
+from repro.obs.log import get_logger
+
+_LOG = get_logger("parallel")
 
 #: A trial task: called with the trial's derived RNG, returns any
 #: picklable result.
@@ -104,6 +109,36 @@ def _run_trial(task: TrialTask, seed: int, labels: Tuple[Label, ...], index: int
     return task(make_rng(seed, *labels, index))
 
 
+class _TrialTiming:
+    """Picklable per-trial timing envelope (profiled pooled runs only)."""
+
+    __slots__ = ("value", "wall_seconds", "cpu_seconds")
+
+    def __init__(self, value: Any, wall_seconds: float, cpu_seconds: float):
+        self.value = value
+        self.wall_seconds = wall_seconds
+        self.cpu_seconds = cpu_seconds
+
+
+def _run_trial_timed(
+    task: TrialTask, seed: int, labels: Tuple[Label, ...], index: int
+) -> Any:
+    """Worker body wrapping :func:`_run_trial_guarded` in wall/CPU timers.
+
+    Workers never see the parent's recorder (the ambient context is
+    process-local by design), so timing crosses the pipe as data and the
+    parent emits the ``trial`` events at harvest time.
+    """
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    value = _run_trial_guarded(task, seed, labels, index)
+    if isinstance(value, _TrialFailure):
+        return value
+    return _TrialTiming(
+        value, time.perf_counter() - wall, time.process_time() - cpu
+    )
+
+
 def _run_trial_guarded(
     task: TrialTask, seed: int, labels: Tuple[Label, ...], index: int
 ) -> Any:
@@ -144,6 +179,13 @@ class ParallelTrialRunner:
         Optional path to an on-disk trial journal.  Finished trials are
         appended as they complete; a later call with the same ``seed``
         and ``labels`` loads them and computes only the missing ones.
+    recorder:
+        Optional :class:`~repro.obs.metrics.MetricsRecorder`.  When set
+        (or when an ambient recorder is installed at
+        :meth:`map_trials` time) the runner emits ``checkpoint-write``
+        and ``worker-retry`` events, and -- with ``recorder.profile`` --
+        per-trial ``trial`` events carrying wall/CPU seconds.  Worker
+        processes stay uninstrumented; timing crosses the pipe as data.
     """
 
     def __init__(
@@ -153,6 +195,7 @@ class ParallelTrialRunner:
         timeout: Optional[float] = None,
         pool_retries: int = 1,
         checkpoint: Optional[str] = None,
+        recorder: Optional[Any] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -164,6 +207,8 @@ class ParallelTrialRunner:
         self.timeout = timeout
         self.pool_retries = pool_retries
         self.checkpoint = checkpoint
+        self.recorder = recorder
+        self._obs: Optional[Any] = None  # resolved per map_trials call
 
     @property
     def parallel(self) -> bool:
@@ -188,6 +233,7 @@ class ParallelTrialRunner:
             labels = (labels,)
         label_path: Tuple[Label, ...] = tuple(labels)
         run_key = (seed, label_path)
+        self._obs = self.recorder if self.recorder is not None else current_recorder()
         done: Dict[int, Any] = {}
         if self.checkpoint:
             done = {
@@ -218,17 +264,35 @@ class ParallelTrialRunner:
     ) -> Dict[int, Any]:
         results: Dict[int, Any] = {}
         run_key = (seed, labels)
+        obs = self._obs
+        profiling = obs is not None and getattr(obs, "profile", False)
         for index in pending:
+            wall = time.perf_counter() if profiling else 0.0
+            cpu = time.process_time() if profiling else 0.0
             try:
                 value = _run_trial(task, seed, labels, index)
             except Exception as exc:
                 raise TrialTaskError(
                     index, f"{type(exc).__name__}: {exc}", traceback.format_exc()
                 ) from exc
+            if profiling:
+                obs.event(
+                    "trial",
+                    index=index,
+                    wall_seconds=time.perf_counter() - wall,
+                    cpu_seconds=time.process_time() - cpu,
+                    pooled=False,
+                )
             results[index] = value
             if self.checkpoint:
-                _append_checkpoint(self.checkpoint, run_key, index, value)
+                self._checkpoint_write(run_key, index, value)
         return results
+
+    def _checkpoint_write(self, run_key: "_RunKey", index: int, value: Any) -> None:
+        assert self.checkpoint is not None
+        if _append_checkpoint(self.checkpoint, run_key, index, value):
+            if self._obs is not None:
+                self._obs.event("checkpoint-write", index=index)
 
     # -- pooled path ----------------------------------------------------
 
@@ -251,6 +315,11 @@ class ParallelTrialRunner:
                 # A worker died or the pool could not start: completed
                 # trials are kept, only the stragglers go another round.
                 missing = [index for index in missing if index not in results]
+                _LOG.warning(
+                    "worker pool broke; retrying %d missing trial(s)", len(missing)
+                )
+                if self._obs is not None:
+                    self._obs.event("worker-retry", missing=len(missing))
                 continue
             return results
         # Pool keeps breaking (or never started): trials are pure, so
@@ -277,6 +346,9 @@ class ParallelTrialRunner:
         import concurrent.futures as cf
 
         run_key = (seed, labels)
+        obs = self._obs
+        profiling = obs is not None and getattr(obs, "profile", False)
+        worker_body = _run_trial_timed if profiling else _run_trial_guarded
         try:
             pool = cf.ProcessPoolExecutor(
                 max_workers=min(self.workers, len(indices))
@@ -286,7 +358,7 @@ class ParallelTrialRunner:
         try:
             try:
                 futures = {
-                    index: pool.submit(_run_trial_guarded, task, seed, labels, index)
+                    index: pool.submit(worker_body, task, seed, labels, index)
                     for index in indices
                 }
             except cf.BrokenExecutor as exc:
@@ -306,9 +378,18 @@ class ParallelTrialRunner:
                         f"{value.kind}: {value.message}",
                         value.remote_traceback,
                     )
+                if isinstance(value, _TrialTiming):
+                    obs.event(
+                        "trial",
+                        index=index,
+                        wall_seconds=value.wall_seconds,
+                        cpu_seconds=value.cpu_seconds,
+                        pooled=True,
+                    )
+                    value = value.value
                 results[index] = value
                 if self.checkpoint:
-                    _append_checkpoint(self.checkpoint, run_key, index, value)
+                    self._checkpoint_write(run_key, index, value)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 
@@ -325,15 +406,30 @@ _RunKey = Tuple[int, Tuple[Label, ...]]
 
 
 def _load_checkpoint(path: str, run_key: _RunKey) -> Dict[int, Any]:
-    """Load finished trials for ``run_key``; tolerate a truncated tail.
+    """Load finished trials for ``run_key``; tolerate a damaged journal.
 
     Records for other run keys (other seeds or labels sharing the file)
     are ignored rather than treated as corruption, so one journal can
     serve a whole experiment sweep.
+
+    Every record parsed before a failure is kept, whatever the failure:
+
+    * a truncated or corrupt *tail* (the run was killed mid-write before
+      the appends became atomic) stops the scan, and the journal is
+      repaired by truncating the garbage -- otherwise later appends
+      would land behind an unreadable tail and be lost to every future
+      resume;
+    * a mid-stream *read error* (``OSError`` from a flaky filesystem)
+      stops the scan but leaves the file alone: the unread remainder may
+      be perfectly good.
     """
     results: Dict[int, Any] = {}
     if not os.path.exists(path):
         return results
+    recovered = 0
+    skipped = 0
+    good_offset = 0
+    damaged = False
     try:
         with open(path, "rb") as handle:
             while True:
@@ -341,24 +437,79 @@ def _load_checkpoint(path: str, run_key: _RunKey) -> Dict[int, Any]:
                     key, index, value = pickle.load(handle)
                 except EOFError:
                     break
+                except OSError:
+                    # Mid-stream read failure: keep what was parsed, do
+                    # not touch the (possibly fine) unread remainder.
+                    raise
                 except Exception:
-                    # Truncated/corrupt tail (the run was killed mid-write):
-                    # everything before it is still good.
+                    # Truncated/corrupt tail (the run was killed
+                    # mid-write): everything before it is still good.
+                    damaged = True
                     break
+                good_offset = handle.tell()
                 if key == run_key:
                     results[index] = value
-    except OSError:
-        return {}
+                    recovered += 1
+                else:
+                    skipped += 1
+    except OSError as exc:
+        _LOG.warning(
+            "checkpoint %s: read failed after %d recovered / %d skipped "
+            "record(s): %s",
+            path,
+            recovered,
+            skipped,
+            exc,
+        )
+        return results
+    if damaged:
+        _LOG.warning(
+            "checkpoint %s: corrupt tail after %d recovered / %d skipped "
+            "record(s); truncating journal to last intact record",
+            path,
+            recovered,
+            skipped,
+        )
+        try:
+            os.truncate(path, good_offset)
+        except OSError as exc:  # pragma: no cover - repair is best-effort
+            _LOG.warning("checkpoint %s: tail repair failed: %s", path, exc)
     return results
 
 
-def _append_checkpoint(path: str, run_key: _RunKey, index: int, value: Any) -> None:
-    """Append one finished trial; checkpointing must never kill the run."""
+def _append_checkpoint(path: str, run_key: _RunKey, index: int, value: Any) -> bool:
+    """Append one finished trial; checkpointing must never kill the run.
+
+    The record is serialized *before* the file is opened and lands in a
+    single ``write`` call, so a crash (or an unpicklable value) can
+    never leave half a record behind -- a partial pickle at the tail
+    would otherwise shadow every later append from
+    :func:`_load_checkpoint`'s scan.
+    """
+    try:
+        # Not just PicklingError: unpicklable values raise TypeError or
+        # AttributeError from __reduce__, and none of them may kill the run.
+        payload = pickle.dumps((run_key, index, value))
+    except Exception as exc:
+        _LOG.warning(
+            "checkpoint %s: trial %d not journaled (unpicklable: %s)",
+            path,
+            index,
+            exc,
+        )
+        return False
     try:
         with open(path, "ab") as handle:
-            pickle.dump((run_key, index, value), handle)
-    except (OSError, pickle.PicklingError):
-        pass
+            handle.write(payload)
+    except OSError as exc:
+        _LOG.warning(
+            "checkpoint %s: trial %d not journaled (write failed: %s)",
+            path,
+            index,
+            exc,
+        )
+        return False
+    return True
 
 
 def _picklable(task: TrialTask) -> bool:

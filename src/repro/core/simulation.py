@@ -13,12 +13,14 @@ the reference implementation the fast paths are validated against.
 from __future__ import annotations
 
 import random
-from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+import time
+from typing import Any, Callable, Generic, List, Optional, Sequence, TypeVar
 
 from repro.core.errors import SimulationLimitError
 from repro.core.monitors import Monitor
 from repro.core.protocol import PopulationProtocol, check_population
 from repro.core.scheduler import Scheduler, UniformRandomScheduler
+from repro.obs.context import current_recorder
 
 S = TypeVar("S")
 
@@ -41,6 +43,12 @@ class Simulation(Generic[S]):
         Defaults to the standard uniform random scheduler.
     monitors:
         Observers notified around every interaction.
+    recorder:
+        Optional :class:`~repro.obs.metrics.MetricsRecorder`; defaults
+        to the ambient recorder (see :mod:`repro.obs.context`).  When
+        present, :meth:`run` credits interactions and wall time towards
+        the throughput aggregate.  Sampled metrics on this engine come
+        from an attached :class:`~repro.obs.metrics.SampledMetricsMonitor`.
     """
 
     def __init__(
@@ -51,6 +59,7 @@ class Simulation(Generic[S]):
         rng: random.Random,
         scheduler: Optional[Scheduler] = None,
         monitors: Sequence[Monitor[S]] = (),
+        recorder: Optional[Any] = None,
     ):
         self.protocol = protocol
         self.rng = rng
@@ -65,6 +74,7 @@ class Simulation(Generic[S]):
         # construction time; mutating ``self.monitors`` afterwards is
         # unsupported.
         self._has_monitors = bool(self.monitors)
+        self._obs = recorder if recorder is not None else current_recorder()
         self.interactions = 0
         for monitor in self.monitors:
             monitor.on_start(self.states)
@@ -104,11 +114,24 @@ class Simulation(Generic[S]):
 
     def run(self, interactions: int) -> None:
         """Execute exactly ``interactions`` steps (fewer if a script ends)."""
+        if self._obs is None:
+            try:
+                for _ in range(interactions):
+                    self.step()
+            except StopIteration:
+                pass  # a ScriptedScheduler ran out of script: natural end
+            return
+        before = self.interactions
+        start = time.perf_counter()
         try:
             for _ in range(interactions):
                 self.step()
         except StopIteration:
-            pass  # a ScriptedScheduler ran out of script: natural end
+            pass
+        finally:
+            self._obs.count_interactions(
+                self.interactions - before, time.perf_counter() - start
+            )
 
     def run_until(
         self,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence
@@ -26,6 +27,7 @@ from repro.core.chaos import PoissonProcess, adversary_names
 from repro.core.faults import FaultSchedule, RecoveryReport, measure_recovery
 from repro.core.parallel import ParallelTrialRunner
 from repro.core.rng import DEFAULT_SEED
+from repro.obs.context import current_recorder
 from repro.experiments.asciiplot import scaling_chart
 from repro.protocols.base import RankingProtocol
 from repro.protocols.cai_izumi_wada import SilentNStateSSR
@@ -205,6 +207,7 @@ def run_chaos(
                 f"unknown protocol {key!r}; known: {', '.join(sorted(CHAOS_PROTOCOLS))}"
             )
     runner = ParallelTrialRunner(workers)
+    obs = current_recorder()
     result = ChaosResult(adversary=adversary, engine=engine, seed=seed)
     for key in protocols:
         for n in ns:
@@ -222,9 +225,15 @@ def run_chaos(
                 recovery_budget_factor * n,
                 probe_resolution,
             )
-            outcomes: List[RecoveryReport] = runner.map_trials(
-                task, seed=seed, labels=("chaos", adversary, key, n), trials=trials
+            cell_phase = (
+                obs.phase(f"chaos[{key},n={n}]")
+                if obs is not None
+                else nullcontext()
             )
+            with cell_phase:
+                outcomes: List[RecoveryReport] = runner.map_trials(
+                    task, seed=seed, labels=("chaos", adversary, key, n), trials=trials
+                )
             records = [record for out in outcomes for record in out.records]
             recovered = [r for r in records if r.recovered]
             recoveries = [r.recovery_time for r in recovered]

@@ -12,6 +12,8 @@ Examples::
     repro lint --audit-states       # + Table 1 state-count audit CSV
     repro chaos                     # adversarial recovery sweep
     repro chaos --adversary leader --n 64 128 --json chaos.json
+    repro chaos --metrics m.json --trace t.jsonl   # + observability
+    repro tail t.jsonl              # render a recorded trace as charts
 """
 
 from __future__ import annotations
@@ -19,10 +21,35 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from contextlib import ExitStack
+from typing import Any, List, Optional
 
 from repro.core.rng import DEFAULT_SEED
 from repro.experiments.registry import all_experiments, run_experiment
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (``repro run`` / ``repro chaos``)."""
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="record sampled/event/aggregate metrics and write them to "
+        "PATH as JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream a schema-versioned JSONL trace to PATH "
+        "(render it later with 'repro tail')",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally time engine stages and individual trials "
+        "(implies recording)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="additionally write rows/checks CSVs and a manifest to DIR",
     )
+    _add_obs_arguments(run_parser)
 
     lint_parser = sub.add_parser(
         "lint",
@@ -187,7 +215,65 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         help="additionally write the machine-readable report to PATH",
     )
+    _add_obs_arguments(chaos_parser)
+
+    tail_parser = sub.add_parser(
+        "tail",
+        help="render a recorded JSONL trace as ascii time-series",
+    )
+    tail_parser.add_argument(
+        "trace_file", metavar="TRACE", help="JSONL trace written by --trace"
+    )
+    tail_parser.add_argument(
+        "--series",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="sampled fields to chart (default: the standard series "
+        "present in the trace)",
+    )
+    tail_parser.add_argument(
+        "--width", type=int, default=60, help="chart width (default: 60)"
+    )
+    tail_parser.add_argument(
+        "--height", type=int, default=8, help="chart height (default: 8)"
+    )
+    tail_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the trace against the record schema first; "
+        "exit non-zero on any problem",
+    )
     return parser
+
+
+def _install_recorder(args: argparse.Namespace, stack: ExitStack) -> Optional[Any]:
+    """Install the ambient recorder requested by the observability flags.
+
+    Returns ``None`` when no flag asked for recording, keeping the
+    unrecorded paths entirely hook-free.
+    """
+    if not (args.metrics or args.trace or args.profile):
+        return None
+    from repro.obs import MetricsRecorder, TraceWriter, recording
+
+    trace = stack.enter_context(TraceWriter(args.trace)) if args.trace else None
+    recorder = MetricsRecorder(trace=trace, profile=args.profile)
+    stack.enter_context(recording(recorder))
+    return recorder
+
+
+def _finish_recorder(args: argparse.Namespace, recorder: Optional[Any]) -> None:
+    """Flush the post-run aggregate record and the metrics JSON."""
+    if recorder is None:
+        return
+    if recorder.trace is not None:
+        recorder.trace.write("aggregate", recorder.aggregates())
+    if args.metrics:
+        recorder.write(args.metrics)
+        print(f"obs: wrote metrics to {args.metrics}")
+    if args.trace:
+        print(f"obs: wrote trace to {args.trace}")
 
 
 def _run_one(
@@ -198,9 +284,12 @@ def _run_one(
     csv_dir: Optional[str] = None,
     workers: Optional[int] = None,
 ) -> bool:
-    started = time.time()
+    # perf_counter, not time.time: elapsed is a duration, and time.time
+    # can step backwards under clock adjustment (the one wall-clock
+    # timestamp lives in results.build_manifest).
+    started = time.perf_counter()
     report = run_experiment(experiment_id, seed=seed, quick=quick, workers=workers)
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     if csv_dir:
         from repro.experiments.results import write_artifacts
 
@@ -240,49 +329,74 @@ def main(argv: Optional[List[str]] = None) -> int:
             output=args.output,
         )
 
+    if args.command == "tail":
+        from repro.obs.tail import render_trace
+        from repro.obs.trace import validate_trace
+
+        if args.validate:
+            problems = validate_trace(args.trace_file)
+            if problems:
+                for problem in problems:
+                    print(f"tail: {problem}", file=sys.stderr)
+                return 1
+            print(f"tail: {args.trace_file} validates")
+        print(render_trace(
+            args.trace_file,
+            series=args.series,
+            width=args.width,
+            height=args.height,
+        ))
+        return 0
+
     if args.command == "chaos":
         # Imported lazily: the sweep pulls in the chaos + count machinery.
         from repro.experiments.chaos import run_chaos, write_json
 
-        try:
-            result = run_chaos(
-                protocols=args.protocol,
-                ns=args.n,
-                adversary=args.adversary,
-                trials=args.trials,
-                seed=args.seed,
-                agents=args.agents,
-                fraction=args.fraction,
-                period_factor=args.period,
-                strikes=args.strikes,
-                poisson_rate=args.poisson_rate,
-                engine=args.engine,
-                workers=args.workers,
-                recovery_budget_factor=args.recovery_budget,
-            )
-        except ValueError as exc:
-            print(f"chaos: {exc}", file=sys.stderr)
-            return 2
-        print(result.render())
-        if args.json_path:
-            write_json(result, args.json_path)
-            print(f"chaos: wrote JSON report to {args.json_path}")
+        with ExitStack() as stack:
+            recorder = _install_recorder(args, stack)
+            try:
+                result = run_chaos(
+                    protocols=args.protocol,
+                    ns=args.n,
+                    adversary=args.adversary,
+                    trials=args.trials,
+                    seed=args.seed,
+                    agents=args.agents,
+                    fraction=args.fraction,
+                    period_factor=args.period,
+                    strikes=args.strikes,
+                    poisson_rate=args.poisson_rate,
+                    engine=args.engine,
+                    workers=args.workers,
+                    recovery_budget_factor=args.recovery_budget,
+                )
+            except ValueError as exc:
+                print(f"chaos: {exc}", file=sys.stderr)
+                return 2
+            print(result.render())
+            if args.json_path:
+                write_json(result, args.json_path)
+                print(f"chaos: wrote JSON report to {args.json_path}")
+            _finish_recorder(args, recorder)
         return 0 if result.all_recovered else 1
 
     targets = all_experiments() if args.experiment == "all" else [args.experiment]
     ok = True
-    for experiment_id in targets:
-        ok = (
-            _run_one(
-                experiment_id,
-                args.seed,
-                args.quick,
-                args.output,
-                args.csv,
-                args.workers,
+    with ExitStack() as stack:
+        recorder = _install_recorder(args, stack)
+        for experiment_id in targets:
+            ok = (
+                _run_one(
+                    experiment_id,
+                    args.seed,
+                    args.quick,
+                    args.output,
+                    args.csv,
+                    args.workers,
+                )
+                and ok
             )
-            and ok
-        )
+        _finish_recorder(args, recorder)
     return 0 if ok else 1
 
 

@@ -25,8 +25,11 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 from repro.analysis.stats import TrialSummary, summarize_trials
 from repro.core.configuration import is_silent
 from repro.core.countsim import CountSimulation, count_engine_eligible
+from repro.core.monitors import Monitor
 from repro.core.parallel import ParallelTrialRunner
 from repro.core.simulation import Simulation
+from repro.obs.context import current_recorder
+from repro.obs.metrics import SampledMetricsMonitor
 from repro.protocols.base import RankingProtocol
 
 S = TypeVar("S")
@@ -102,7 +105,12 @@ def measure_convergence(
             protocol, states, rng=rng, max_time=max_time
         )
     monitor = protocol.convergence_monitor()
-    sim = Simulation(protocol, states, rng=rng, monitors=[monitor])
+    monitors: List[Monitor] = [monitor]
+    obs = current_recorder()
+    if obs is not None:
+        monitor.recorder = obs
+        monitors.append(SampledMetricsMonitor(obs, monitor, n))
+    sim = Simulation(protocol, states, rng=rng, monitors=monitors)
     if confirm_time is None:
         confirm_time = 30.0 + 20.0 * math.log(n)
     max_interactions = int(max_time * n)
@@ -139,8 +147,7 @@ def measure_convergence(
                 regressions=monitor.regressions,
             )
         burst = min(probe_every, max_interactions - sim.interactions)
-        for _ in range(burst):
-            sim.step()
+        sim.run(burst)
 
 
 def _measure_convergence_counted(

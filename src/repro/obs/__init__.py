@@ -1,0 +1,58 @@
+"""Engine-neutral observability: metrics, tracing, logging, profiling.
+
+Long simulation and chaos runs were a black box -- hours of work whose
+only output was the final JSON.  This package adds the three standard
+views into a running system, following the sampled / event-based /
+aggregated taxonomy:
+
+* **Sampled metrics** -- a time-series of O(1) engine gauges (leader
+  count, rank coverage, distinct-state count, null-interaction
+  fraction, fault backlog), captured every ``sample_every`` effective
+  interactions off bookkeeping the engines already maintain.
+* **Event metrics** -- discrete happenings: convergence, regression,
+  strike, recovery, checkpoint write, worker retry, per-trial timing.
+* **Aggregated metrics** -- computed after the run: recovery-time
+  percentiles, throughput (interactions/second), per-phase and
+  per-stage wall time from ``time.perf_counter``.
+
+The subsystem is *pull-free and ambient*: a
+:class:`~repro.obs.metrics.MetricsRecorder` installed via
+:func:`~repro.obs.context.recording` is picked up by both simulation
+engines, the parallel trial runner and the fault machinery at
+construction time.  When no recorder is installed (the default), no
+hooks are registered and the hot paths are unchanged -- enforced by
+``tests/core/test_obs.py`` and the ``bench_engine.py`` smoke.
+
+Structured traces are JSONL (:mod:`repro.obs.trace`) with a
+schema-versioned record format; ``repro tail`` renders them as ascii
+time-series.  Logging uses a ``repro``-rooted stdlib logger hierarchy
+(:func:`~repro.obs.log.get_logger`).
+"""
+
+from repro.obs.context import current_recorder, recording
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import MetricsRecorder, SampledMetricsMonitor, percentile
+from repro.obs.profile import Stopwatch
+from repro.obs.trace import (
+    RECORD_TYPES,
+    TRACE_SCHEMA_VERSION,
+    TraceWriter,
+    read_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "MetricsRecorder",
+    "RECORD_TYPES",
+    "SampledMetricsMonitor",
+    "Stopwatch",
+    "TRACE_SCHEMA_VERSION",
+    "TraceWriter",
+    "configure_logging",
+    "current_recorder",
+    "get_logger",
+    "percentile",
+    "read_trace",
+    "recording",
+    "validate_trace",
+]

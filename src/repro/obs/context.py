@@ -1,0 +1,47 @@
+"""The ambient recorder: how instrumentation reaches running engines.
+
+Experiments construct engines many layers below the CLI, so threading a
+recorder argument through every call chain would touch every runner for
+a purely cross-cutting concern.  Instead the recorder is *ambient*:
+:func:`recording` installs it for the duration of a ``with`` block, and
+every engine (:class:`~repro.core.simulation.Simulation`,
+:class:`~repro.core.countsim.CountSimulation`,
+:class:`~repro.core.parallel.ParallelTrialRunner`,
+:func:`~repro.core.faults.measure_recovery`) consults
+:func:`current_recorder` once at construction time.
+
+The default is ``None`` -- no recorder, no hooks, unchanged hot paths.
+An explicit ``recorder=`` argument always beats the ambient one.
+
+The context is process-local by design: worker processes spawned by the
+parallel runner start with no recorder, so pooled trials run
+uninstrumented while the parent still records runner-level events
+(checkpoint writes, retries, per-trial timing).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.metrics import MetricsRecorder
+
+_current: Optional["MetricsRecorder"] = None
+
+
+def current_recorder() -> Optional["MetricsRecorder"]:
+    """The ambient recorder, or ``None`` when observability is off."""
+    return _current
+
+
+@contextmanager
+def recording(recorder: "MetricsRecorder") -> Iterator["MetricsRecorder"]:
+    """Install ``recorder`` as the ambient recorder for the block."""
+    global _current
+    previous = _current
+    _current = recorder
+    try:
+        yield recorder
+    finally:
+        _current = previous

@@ -1,0 +1,50 @@
+"""The ``repro``-rooted stdlib logger hierarchy.
+
+Every module in the package logs through a child of the ``repro``
+logger (``repro.parallel``, ``repro.chaos``, ``repro.obs.trace``, ...),
+so one call configures -- or silences -- the whole tree.  Following
+library convention, importing the package attaches no handlers; the
+CLI (and tests that want visible logs) call :func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The logger for a dotted suffix under the ``repro`` root.
+
+    ``get_logger("parallel")`` -> ``repro.parallel``;
+    ``get_logger()`` -> the root ``repro`` logger.
+    """
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure_logging(
+    level: int = logging.INFO, *, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: repeated calls adjust the level of the existing handler
+    instead of stacking duplicates, so the CLI can call it freely.
+    """
+    root = get_logger()
+    root.setLevel(level)
+    for handler in root.handlers:
+        if getattr(handler, "_repro_obs_handler", False):
+            handler.setLevel(level)
+            return root
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root

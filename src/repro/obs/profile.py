@@ -1,0 +1,42 @@
+"""Small profiling primitives shared by the instrumentation points.
+
+Everything here measures *durations*, so everything uses the monotonic
+``time.perf_counter`` (wall) and ``time.process_time`` (CPU) clocks --
+``time.time`` can step backwards under clock adjustment and is reserved
+for the single manifest timestamp in
+:mod:`repro.experiments.results`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+
+class Stopwatch:
+    """Context manager measuring wall and CPU seconds for a block.
+
+    >>> with Stopwatch() as watch:
+    ...     sum(range(1000))
+    499500
+    >>> watch.wall_seconds >= 0 and watch.cpu_seconds >= 0
+    True
+    """
+
+    __slots__ = ("wall_seconds", "cpu_seconds", "_wall_start", "_cpu_start")
+
+    def __init__(self) -> None:
+        self.wall_seconds: float = 0.0
+        self.cpu_seconds: float = 0.0
+        self._wall_start: Optional[float] = None
+        self._cpu_start: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        assert self._wall_start is not None and self._cpu_start is not None
+        self.wall_seconds = time.perf_counter() - self._wall_start
+        self.cpu_seconds = time.process_time() - self._cpu_start

@@ -1,0 +1,107 @@
+"""Render a recorded JSONL trace as ascii time-series (``repro tail``).
+
+One small chart per sampled series (mixed magnitudes -- a leader count
+near 1 next to a distinct-state count in the hundreds -- would be
+unreadable on one canvas), followed by an event summary and, when the
+trace carries one, the post-run aggregate record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import read_trace
+
+#: Series plotted by default, in display order, when present in samples.
+DEFAULT_SERIES = (
+    "leaders",
+    "rank_coverage",
+    "distinct_states",
+    "null_fraction",
+    "fault_backlog",
+)
+
+
+def sample_series(
+    records: Sequence[Dict[str, Any]], field: str
+) -> List[Tuple[float, float]]:
+    """``(t, value)`` points of one sampled field, in trace order."""
+    points: List[Tuple[float, float]] = []
+    for record in records:
+        if record.get("type") != "sample":
+            continue
+        t, value = record.get("t"), record.get(field)
+        if isinstance(t, (int, float)) and isinstance(value, (int, float)):
+            points.append((float(t), float(value)))
+    return points
+
+
+def available_series(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Numeric sample fields present in the trace (minus the time axis)."""
+    fields: Dict[str, None] = {}
+    for record in records:
+        if record.get("type") != "sample":
+            continue
+        for name, value in record.items():
+            if name in ("t", "v", "type", "interactions", "events", "changes"):
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                fields.setdefault(name)
+    return list(fields)
+
+
+def render_trace(
+    path: str,
+    *,
+    series: Optional[Sequence[str]] = None,
+    width: int = 60,
+    height: int = 8,
+    show_events: bool = True,
+) -> str:
+    """The full ``repro tail`` rendering of one trace file."""
+    # Imported here: obs stays importable without the experiments layer.
+    from repro.experiments.asciiplot import AsciiChart
+
+    records = read_trace(path)
+    samples = sum(1 for r in records if r.get("type") == "sample")
+    events = [r for r in records if r.get("type") == "event"]
+    lines: List[str] = [
+        f"trace {path}: {len(records)} record(s), "
+        f"{samples} sample(s), {len(events)} event(s)"
+    ]
+
+    if series is None:
+        present = available_series(records)
+        series = [name for name in DEFAULT_SERIES if name in present] or present
+    for name in series:
+        points = sample_series(records, name)
+        if not points:
+            lines.append(f"\n{name}: no sampled points in this trace")
+            continue
+        chart = AsciiChart(
+            width=width, height=height, loglog=False, title=f"{name} vs parallel time"
+        )
+        chart.add_series(name, points, marker="*")
+        lines.append("")
+        lines.append(chart.render())
+
+    if show_events and events:
+        counts: Dict[str, int] = {}
+        for event in events:
+            kind = str(event.get("kind"))
+            counts[kind] = counts.get(kind, 0) + 1
+        lines.append("")
+        lines.append(
+            "events: "
+            + "  ".join(f"{kind}={count}" for kind, count in sorted(counts.items()))
+        )
+    for record in records:
+        if record.get("type") == "aggregate":
+            throughput = record.get("throughput") or {}
+            rate = throughput.get("interactions_per_second")
+            lines.append(
+                "aggregate: "
+                f"{throughput.get('interactions', 0)} interactions"
+                + (f" at {rate:.3e}/s" if isinstance(rate, (int, float)) else "")
+            )
+    return "\n".join(lines)

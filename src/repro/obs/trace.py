@@ -1,0 +1,200 @@
+"""Structured JSONL trace writing, reading and validation.
+
+A trace is a line-per-record JSON stream.  Every record carries the
+trace format version (``"v"``) and a record type; the first record is a
+``header``.  The format is deliberately append-only and self-describing
+so a trace survives the run that produced it being killed: every fully
+written line is independently parseable.
+
+Record types
+------------
+``header``
+    First line: ``{"v": 1, "type": "header", "schema_version": 1,
+    "source": "repro.obs"}``.
+``sample``
+    One sampled time-series point.  Always carries ``t`` (parallel
+    time); the remaining fields are engine gauges (``leaders``,
+    ``rank_coverage``, ``distinct_states``, ``null_fraction``,
+    ``fault_backlog``, ...).
+``event``
+    One discrete event.  Always carries ``kind`` (``convergence``,
+    ``regression``, ``strike``, ``recovery``, ``checkpoint-write``,
+    ``worker-retry``, ``trial``) plus kind-specific fields.
+``aggregate``
+    Post-run summary (see
+    :meth:`~repro.obs.metrics.MetricsRecorder.aggregates`), written
+    once when the CLI closes the trace.
+
+Writes are buffered (``buffer_records`` lines) and flushed on close, so
+tracing a hot loop costs an append to a Python list most of the time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.log import get_logger
+
+#: Version of the trace record format; bump on incompatible changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: Every record type a valid trace may contain.
+RECORD_TYPES = ("header", "sample", "event", "aggregate")
+
+logger = get_logger("obs.trace")
+
+
+class TraceWriter:
+    """Buffered JSONL trace writer.
+
+    Usable as a context manager; :meth:`close` flushes and is
+    idempotent.  Records are serialized eagerly (so a mutated dict
+    cannot retroactively change a buffered record) but written in
+    batches of ``buffer_records`` lines.
+    """
+
+    def __init__(self, path: str, *, buffer_records: int = 256):
+        if buffer_records < 1:
+            raise ValueError(f"buffer_records must be >= 1, got {buffer_records}")
+        self.path = path
+        self._buffer: List[str] = []
+        self._buffer_records = buffer_records
+        self._closed = False
+        self.records_written = 0
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # Truncate eagerly: a trace describes exactly one run.
+        with open(path, "w", encoding="utf8"):
+            pass
+        self.write("header", {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "source": "repro.obs",
+        })
+
+    def write(self, record_type: str, record: Dict[str, Any]) -> None:
+        """Append one record of ``record_type`` to the trace."""
+        if record_type not in RECORD_TYPES:
+            raise ValueError(
+                f"unknown record type {record_type!r}; known: {RECORD_TYPES}"
+            )
+        if self._closed:
+            raise ValueError(f"trace {self.path} is closed")
+        line = json.dumps(
+            {"v": TRACE_SCHEMA_VERSION, "type": record_type, **record},
+            sort_keys=True,
+            default=str,
+        )
+        self._buffer.append(line)
+        self.records_written += 1
+        if len(self._buffer) >= self._buffer_records:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        with open(self.path, "a", encoding="utf8") as handle:
+            handle.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        logger.debug("trace %s: wrote %d record(s)", self.path, self.records_written)
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace into a list of record dicts.
+
+    Unparseable lines (a truncated tail from a killed run) are skipped
+    with a warning rather than failing the whole read -- the same
+    tolerance the checkpoint journal applies.
+    """
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, encoding="utf8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                skipped += 1
+    if skipped:
+        logger.warning(
+            "trace %s: recovered %d record(s), skipped %d unparseable line(s)",
+            path,
+            len(records),
+            skipped,
+        )
+    return records
+
+
+def validate_trace(path: str) -> List[str]:
+    """Validate a trace against the record schema; return the problems.
+
+    An empty list means the trace is valid: every line parses, the
+    first record is a versioned header, every record carries a known
+    type and the current format version, samples carry ``t`` and
+    events carry ``kind``.
+    """
+    problems: List[str] = []
+    records: List[Tuple[int, Optional[Dict[str, Any]]]] = []
+    with open(path, encoding="utf8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append((lineno, json.loads(line)))
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: unparseable JSON ({exc.msg})")
+                records.append((lineno, None))
+    if not records:
+        return ["trace is empty (no records at all)"]
+    first_lineno, first = records[0]
+    if first is not None:
+        if first.get("type") != "header":
+            problems.append(
+                f"line {first_lineno}: first record must be a header, "
+                f"got type {first.get('type')!r}"
+            )
+        elif first.get("schema_version") != TRACE_SCHEMA_VERSION:
+            problems.append(
+                f"line {first_lineno}: unsupported schema_version "
+                f"{first.get('schema_version')!r} (expected {TRACE_SCHEMA_VERSION})"
+            )
+    for lineno, record in records:
+        if record is None:
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: record is not a JSON object")
+            continue
+        rtype = record.get("type")
+        if rtype not in RECORD_TYPES:
+            problems.append(
+                f"line {lineno}: unknown record type {rtype!r} "
+                f"(known: {', '.join(RECORD_TYPES)})"
+            )
+            continue
+        if record.get("v") != TRACE_SCHEMA_VERSION:
+            problems.append(
+                f"line {lineno}: record version {record.get('v')!r} "
+                f"!= {TRACE_SCHEMA_VERSION}"
+            )
+        if rtype == "sample" and not isinstance(record.get("t"), (int, float)):
+            problems.append(f"line {lineno}: sample record has no numeric 't'")
+        if rtype == "event" and not isinstance(record.get("kind"), str):
+            problems.append(f"line {lineno}: event record has no 'kind'")
+    return problems

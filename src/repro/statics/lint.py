@@ -24,7 +24,14 @@ per protocol, instantiated at small fixed populations:
    silent protocols silence + probability-1 stabilization).  Passing
    rules are reported as INFO findings so the certificate is visible in
    the report;
-6. optionally (``--audit-states``) a **state-count audit**: the
+6. **monitor purity** -- the ranking monitors and observability hooks
+   (:class:`~repro.core.monitors.ConvergenceMonitor`,
+   :class:`~repro.obs.metrics.SampledMetricsMonitor` with a live
+   recorder) are run against a small simulation behind a probe that
+   snapshots each participant's canonical key around every callback;
+   a monitor mutating agent state is an ERROR (rule
+   ``monitor-purity``) -- observers must observe;
+7. optionally (``--audit-states``) a **state-count audit**: the
    schema-enumerated state count must equal both the protocol's
    ``state_count()`` and the Table 1 closed form from
    :mod:`repro.analysis.statecount`; rows land in
@@ -393,6 +400,99 @@ def _fault_model_findings(
     return findings
 
 
+def _monitor_purity_findings(
+    target: LintTarget, protocol: Any, schema: Any
+) -> List[Finding]:
+    """Monitor-purity probe: observers must never mutate agent state.
+
+    Wraps each observability-facing monitor in a probe that snapshots
+    the participants' canonical keys around every callback, then drives
+    a small simulation (with a live recorder, so the sampled-metrics
+    and event-emission paths actually execute).  A key changing across
+    a callback means the monitor wrote into the population -- which
+    would silently skew every measurement built on it.
+    """
+    # Imported lazily: the static passes should not drag the dynamic
+    # engines or the observability layer in at module import.
+    from repro.core.monitors import Monitor
+    from repro.core.simulation import Simulation
+    from repro.obs.metrics import MetricsRecorder, SampledMetricsMonitor
+
+    if getattr(protocol, "rank_of", None) is None:
+        return []
+
+    class PurityProbe(Monitor):
+        def __init__(self, inner: Any):
+            self.inner = inner
+            self.witnesses: List[str] = []
+
+        def on_start(self, states: List[Any]) -> None:
+            before = [schema.key(state) for state in states]
+            self.inner.on_start(states)
+            if [schema.key(state) for state in states] != before:
+                self.witnesses.append("on_start mutated the configuration")
+
+        def before_step(
+            self, step: int, i: int, j: int, state_i: Any, state_j: Any
+        ) -> None:
+            before = (schema.key(state_i), schema.key(state_j))
+            self.inner.before_step(step, i, j, state_i, state_j)
+            if (schema.key(state_i), schema.key(state_j)) != before:
+                self.witnesses.append(f"before_step mutated a participant at step {step}")
+
+        def after_step(
+            self, step: int, i: int, j: int, state_i: Any, state_j: Any
+        ) -> None:
+            before = (schema.key(state_i), schema.key(state_j))
+            self.inner.after_step(step, i, j, state_i, state_j)
+            if (schema.key(state_i), schema.key(state_j)) != before:
+                self.witnesses.append(f"after_step mutated a participant at step {step}")
+
+    recorder = MetricsRecorder(sample_every=max(1, protocol.n))
+    convergence = protocol.convergence_monitor()
+    convergence.recorder = recorder
+    sampled = SampledMetricsMonitor(
+        recorder, convergence, protocol.n, sample_every=protocol.n
+    )
+    probes = {
+        type(monitor).__name__: PurityProbe(monitor)
+        for monitor in (convergence, sampled)
+    }
+    sim = Simulation(
+        protocol,
+        rng=random.Random(LINT_SEED),
+        monitors=list(probes.values()),
+        recorder=recorder,
+    )
+    steps = 8 * protocol.n
+    sim.run(steps)
+
+    findings: List[Finding] = []
+    for monitor_name, probe in probes.items():
+        if probe.witnesses:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    target.name,
+                    "monitor-purity",
+                    f"{monitor_name} mutated agent state from a monitor "
+                    "callback (observers must observe)",
+                    witness="; ".join(probe.witnesses[:4]),
+                )
+            )
+    if not findings:
+        findings.append(
+            Finding(
+                Severity.INFO,
+                target.name,
+                "monitor-purity",
+                f"certified: {len(probes)} monitors left agent states "
+                f"untouched across {steps} interactions",
+            )
+        )
+    return findings
+
+
 def _model_check_findings(target: LintTarget) -> List[Finding]:
     findings: List[Finding] = []
     for n in target.model_check_ns:
@@ -546,6 +646,7 @@ def run_lint(
         result.findings.extend(_battery_findings(target, protocol, schema))
         result.findings.extend(_sanitize_findings(target, protocol, schema))
         result.findings.extend(_fault_model_findings(target, protocol, schema))
+        result.findings.extend(_monitor_purity_findings(target, protocol, schema))
         result.findings.extend(_model_check_findings(target))
         if audit_states:
             result.audit_rows.extend(_audit_rows(target, result.findings))

@@ -7,18 +7,23 @@ that contract survives task errors, worker crashes, timeouts and
 checkpoint/resume.
 """
 
+import io
 import multiprocessing
 import os
+import pickle
 import random
 import time
 from functools import partial
 
 import pytest
 
+from repro.core import parallel
 from repro.core.parallel import (
     ParallelTrialRunner,
     TrialTaskError,
     TrialTimeoutError,
+    _append_checkpoint,
+    _load_checkpoint,
 )
 from repro.core.rng import make_rng
 from repro.experiments.common import repeat_convergence
@@ -234,3 +239,99 @@ class TestFaultTolerance:
         assert pooled == log_free == [
             make_rng(16, "pc", i).random() for i in range(4)
         ]
+
+
+class Unpicklable:
+    """Raises from __reduce__ -- what a live object with an open handle does."""
+
+    def __reduce__(self):
+        raise TypeError("deliberately unpicklable")
+
+
+class _FlakyHandle(io.BytesIO):
+    """A file whose reads fail with OSError past a byte limit."""
+
+    def __init__(self, payload: bytes, good_bytes: int):
+        super().__init__(payload)
+        self._good_bytes = good_bytes
+
+    def read(self, size=-1):
+        if self.tell() >= self._good_bytes:
+            raise OSError("simulated I/O error")
+        return super().read(size)
+
+    def readline(self, size=-1):
+        if self.tell() >= self._good_bytes:
+            raise OSError("simulated I/O error")
+        return super().readline(size)
+
+
+class TestCheckpointDurability:
+    """The satellite fixes: atomic appends and a loss-minimizing loader."""
+
+    def test_truncated_final_record_resumes_losslessly(self, tmp_path):
+        """A kill -9 mid-append costs at most the final record: resume
+        recomputes only that trial and stays bit-identical to serial."""
+        checkpoint = str(tmp_path / "journal.pkl")
+        log = str(tmp_path / "invocations.log")
+        expected = ParallelTrialRunner(checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=21, labels=("tr",), trials=6
+        )
+        size = os.path.getsize(checkpoint)
+        with open(checkpoint, "r+b") as handle:
+            handle.truncate(size - 7)  # chop the last record mid-pickle
+        resumed = ParallelTrialRunner(2, checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=21, labels=("tr",), trials=6
+        )
+        assert resumed == expected
+        assert resumed == [make_rng(21, "tr", i).random() for i in range(6)]
+        with open(log, encoding="utf8") as handle:
+            invocations = handle.read().splitlines()
+        assert len(invocations) == 7  # 6 original + only the chopped trial
+
+    def test_tail_repair_unshadows_future_appends(self, tmp_path):
+        """Loading past a corrupt tail truncates it, so later appends do
+        not land behind unreadable garbage and vanish on the next scan."""
+        checkpoint = str(tmp_path / "journal.pkl")
+        run_key = (1, ("k",))
+        assert _append_checkpoint(checkpoint, run_key, 0, "a")
+        good_size = os.path.getsize(checkpoint)
+        with open(checkpoint, "ab") as handle:
+            handle.write(b"\x80\x04garbage-from-a-kill-9")
+        assert _load_checkpoint(checkpoint, run_key) == {0: "a"}
+        assert os.path.getsize(checkpoint) == good_size  # tail repaired
+        assert _append_checkpoint(checkpoint, run_key, 1, "b")
+        assert _load_checkpoint(checkpoint, run_key) == {0: "a", 1: "b"}
+
+    def test_midstream_read_error_keeps_parsed_records(self, tmp_path, monkeypatch):
+        """An OSError partway through the scan returns what was parsed --
+        and never truncates: the unread remainder may be perfectly good."""
+        checkpoint = str(tmp_path / "journal.pkl")
+        run_key = (2, ("m",))
+        for index in range(3):
+            assert _append_checkpoint(checkpoint, run_key, index, index * 10)
+        payload = open(checkpoint, "rb").read()
+        first_len = len(pickle.dumps((run_key, 0, 0)))
+
+        def flaky_open(file, mode="r", *args, **kwargs):
+            assert file == checkpoint and mode == "rb"
+            return _FlakyHandle(payload, first_len)
+
+        monkeypatch.setattr(parallel, "open", flaky_open, raising=False)
+        assert _load_checkpoint(checkpoint, run_key) == {0: 0}
+        monkeypatch.undo()
+        # The file was left alone: a healthy re-read recovers everything.
+        assert os.path.getsize(checkpoint) == len(payload)
+        assert _load_checkpoint(checkpoint, run_key) == {0: 0, 1: 10, 2: 20}
+
+    def test_unpicklable_value_writes_no_partial_record(self, tmp_path):
+        """Serialization failures leave the journal byte-identical: the
+        old open-then-pickle order left partial records behind."""
+        checkpoint = str(tmp_path / "journal.pkl")
+        run_key = (3, ("u",))
+        assert _append_checkpoint(checkpoint, run_key, 0, 1.5)
+        size = os.path.getsize(checkpoint)
+        assert not _append_checkpoint(checkpoint, run_key, 1, Unpicklable())
+        assert os.path.getsize(checkpoint) == size  # not even one byte
+        assert _append_checkpoint(checkpoint, run_key, 2, 2.5)
+        assert _load_checkpoint(checkpoint, run_key) == {0: 1.5, 2: 2.5}
