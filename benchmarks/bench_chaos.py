@@ -165,3 +165,23 @@ def main(argv=None) -> int:
 
 if __name__ == "__main__":
     sys.exit(main())
+
+
+def bench_suite():
+    """The ``chaos`` suite for ``repro bench``: recovery wall time."""
+    from repro.obs.bench import BenchSuite
+
+    def recovery(protocol_name, n):
+        def cell(seed, repeat):
+            _recovery_run(protocol_name, n, seed)
+            return None  # harness-timed: the metric is wall seconds
+
+        return cell
+
+    suite = BenchSuite(
+        "chaos",
+        description="multi-burst fault recovery wall time (count engine)",
+    )
+    suite.cell("ciw-recovery-n256", recovery("ciw", 256), repeats=2)
+    suite.cell("optimal-recovery-n128", recovery("optimal", 128), repeats=2)
+    return suite

@@ -59,3 +59,38 @@ def test_epidemics_full_experiment(benchmark, seed):
     )
     failed = [name for name, check in report.checks.items() if not check.passed]
     assert not failed, failed
+
+
+def bench_suite():
+    """The ``epidemics`` suite for ``repro bench``: toolbox primitives."""
+    from repro.obs.bench import BenchSuite
+
+    suite = BenchSuite(
+        "epidemics",
+        description="probabilistic-toolbox primitives (epidemic, rollcall, coupon)",
+    )
+    suite.cell(
+        "two-way-epidemic-n2048",
+        lambda seed, repeat: (
+            simulate_two_way_epidemic(2048, make_rng(seed, "bench-ep")),
+            None,
+        )[1],
+        repeats=3,
+    )
+    suite.cell(
+        "rollcall-n256",
+        lambda seed, repeat: (
+            simulate_rollcall(256, make_rng(seed, "bench-rc")),
+            None,
+        )[1],
+        repeats=3,
+    )
+    suite.cell(
+        "slow-leader-election-n512",
+        lambda seed, repeat: (
+            simulate_slow_leader_election(512, make_rng(seed, "bench-sle")),
+            None,
+        )[1],
+        repeats=3,
+    )
+    return suite

@@ -86,3 +86,34 @@ def test_coin_mixing(benchmark, seed):
 
     bias = benchmark.pedantic(cell, rounds=3, iterations=1)
     assert bias < 0.02
+
+
+def bench_suite():
+    """The ``extensions`` suite for ``repro bench``: faults and coins."""
+    from repro.obs.bench import BenchSuite
+
+    def total_corruption(seed, repeat):
+        protocol = OptimalSilentSSR(24)
+        rng = make_rng(seed, "bench-recovery")
+        report = measure_recovery(
+            protocol,
+            FaultSchedule.periodic(period=100.0, agents=24, count=1),
+            rng=rng,
+            settle_time=20_000.0,
+            max_recovery_time=20_000.0,
+        )
+        assert report.records[0].recovered
+        return None  # harness-timed
+
+    def coin_mixing(seed, repeat):
+        rng = make_rng(seed, "bench-coin")
+        measure_coin_bias(128, 20_000, rng, sample_after=5_000)
+        return None
+
+    suite = BenchSuite(
+        "extensions",
+        description="fault recovery and synthetic-coin mixing workloads",
+    )
+    suite.cell("recovery-total-corruption-n24", total_corruption, repeats=2)
+    suite.cell("coin-mixing-n128", coin_mixing, repeats=2)
+    return suite

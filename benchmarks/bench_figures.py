@@ -37,3 +37,24 @@ def test_figure2_full_experiment(benchmark, seed):
     """Both worked executions, tree-for-tree, with consistency verdicts."""
     report = benchmark(lambda: run_figure2(seed=seed, quick=True))
     assert report.all_passed
+
+
+def bench_suite():
+    """The ``figures`` suite for ``repro bench``: figure regeneration."""
+    from repro.obs.bench import BenchSuite
+
+    suite = BenchSuite(
+        "figures",
+        description="Figure 1 / Figure 2 regeneration (quick mode)",
+    )
+    suite.cell(
+        "figure1-snapshot-n12",
+        lambda seed, repeat: (snapshot_at_settled_count(12, 8, seed), None)[1],
+        repeats=3,
+    )
+    suite.cell(
+        "figure2-quick-experiment",
+        lambda seed, repeat: (run_figure2(seed=seed, quick=True), None)[1],
+        repeats=2,
+    )
+    return suite

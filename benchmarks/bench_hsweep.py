@@ -63,3 +63,24 @@ def test_hsweep_full_experiment(benchmark, seed):
     )
     failed = [name for name, check in report.checks.items() if not check.passed]
     assert not failed, failed
+
+
+def bench_suite():
+    """The ``hsweep`` suite for ``repro bench``: collision detection."""
+    from repro.obs.bench import BenchSuite
+
+    suite = BenchSuite(
+        "hsweep",
+        description="Sublinear-Time-SSR planted-collision detection",
+    )
+    suite.cell(
+        "detection-h0-n32",
+        lambda seed, repeat: (_detection_cell(32, 0, seed, "bench-h0"), None)[1],
+        repeats=3,
+    )
+    suite.cell(
+        "detection-h1-n32",
+        lambda seed, repeat: (_detection_cell(32, 1, seed, "bench-h1"), None)[1],
+        repeats=3,
+    )
+    return suite

@@ -50,3 +50,24 @@ def test_thm21_full_experiment(benchmark, seed):
     )
     failed = [name for name, check in report.checks.items() if not check.passed]
     assert not failed, failed
+
+
+def bench_suite():
+    """The ``lower-bounds`` suite for ``repro bench``."""
+    from repro.obs.bench import BenchSuite
+
+    suite = BenchSuite(
+        "lower-bounds",
+        description="Observation 2.2 / Theorem 2.1 witness simulations",
+    )
+    suite.cell(
+        "obs22-detection-n64",
+        lambda seed, repeat: (detection_time(64, seed, trial=0), None)[1],
+        repeats=3,
+    )
+    suite.cell(
+        "thm21-second-leader",
+        lambda seed, repeat: (time_to_second_leader(16, 24, seed, trial=0), None)[1],
+        repeats=3,
+    )
+    return suite

@@ -33,3 +33,24 @@ def test_reset_full_experiment(benchmark, seed):
     )
     failed = [name for name, check in report.checks.items() if not check.passed]
     assert not failed, failed
+
+
+def bench_suite():
+    """The ``reset`` suite for ``repro bench``: Propagate-Reset waves."""
+    from repro.obs.bench import BenchSuite
+
+    suite = BenchSuite(
+        "reset",
+        description="Section 3 Propagate-Reset wave timings",
+    )
+    suite.cell(
+        "wave-n128",
+        lambda seed, repeat: (wave(128, seed, trial=0), None)[1],
+        repeats=3,
+    )
+    suite.cell(
+        "wave-paper-constants-n128",
+        lambda seed, repeat: (wave(128, seed, trial=0, paper_constants=True), None)[1],
+        repeats=2,
+    )
+    return suite

@@ -109,3 +109,34 @@ def test_table1_full_experiment(benchmark, seed):
     report = benchmark.pedantic(experiment, rounds=1, iterations=1)
     failed = [name for name, check in report.checks.items() if not check.passed]
     assert not failed, failed
+
+
+def bench_suite():
+    """The ``table1`` suite for ``repro bench``: per-row stabilization."""
+    from repro.obs.bench import BenchSuite
+
+    def ciw_row(seed, repeat):
+        rng = make_rng(seed, "bench-ciw")
+        sim = CiwJumpSimulator(worst_case_ciw_counts(256), rng)
+        sim.run_to_convergence()
+        return None  # harness-timed
+
+    def optimal_silent_row(seed, repeat):
+        rng = make_rng(seed, "bench-os")
+        protocol = OptimalSilentSSR(32)
+        outcome = measure_convergence(
+            protocol,
+            protocol.random_configuration(rng),
+            rng=rng,
+            max_time=20_000.0,
+        )
+        assert outcome.converged
+        return None
+
+    suite = BenchSuite(
+        "table1",
+        description="Table 1 rows: one stabilization measurement per protocol",
+    )
+    suite.cell("ciw-worst-case-n256", ciw_row, repeats=3)
+    suite.cell("optimal-silent-n32", optimal_silent_row, repeats=2)
+    return suite

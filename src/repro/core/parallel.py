@@ -36,6 +36,22 @@ long experiment loses nothing.
 Tasks must be picklable (module-level functions, optionally wrapped in
 :func:`functools.partial`); if a task is not picklable the runner
 degrades to the serial path.
+
+Worker-level trace shards
+-------------------------
+When the resolved recorder carries a :class:`~repro.obs.trace.TraceWriter`
+the runner instruments the trials themselves -- the layer pooled runs
+used to leave dark.  Every trial (serial *and* pooled, so the two paths
+stay byte-comparable) runs under its own fresh recorder writing a
+*shard* trace keyed by the trial's ``(seed, *labels, index)`` span; the
+parent merges the shards back into the main trace in trial order after
+the run.  Because shard records are deterministic engine output (samples
+and events; timing records only appear under ``profile``), the merged
+record stream from a parallel run is byte-identical to a serial run of
+the same seed.  Shard files stay on disk next to the parent trace for
+postmortems.  With no trace attached, nothing changes: pooled workers
+start with no recorder and the hot paths keep their single ``None``
+check.
 """
 
 from __future__ import annotations
@@ -107,6 +123,87 @@ class _TrialFailure:
 def _run_trial(task: TrialTask, seed: int, labels: Tuple[Label, ...], index: int) -> Any:
     """Top-level worker body (must be importable for pickling)."""
     return task(make_rng(seed, *labels, index))
+
+
+class _ShardSpec:
+    """Picklable recipe for per-trial shard recorders.
+
+    Carries everything a worker needs to reconstruct the parent's
+    recording configuration: where shards live (next to the parent
+    trace) and the recorder parameters, so a shard sample stream is
+    what the parent recorder would have captured in-process.
+    """
+
+    __slots__ = ("trace_path", "sample_every", "profile")
+
+    def __init__(self, trace_path: str, sample_every: int, profile: bool):
+        self.trace_path = trace_path
+        self.sample_every = sample_every
+        self.profile = profile
+
+
+def _trial_shard_scope(
+    spec: _ShardSpec, seed: int, labels: Tuple[Label, ...], index: int
+) -> Any:
+    """Context manager: a fresh shard recorder installed as ambient.
+
+    Used identically by the serial loop and the pooled worker body --
+    sharing one code path is what makes the two merge outputs
+    byte-identical.
+    """
+    from contextlib import ExitStack
+
+    from repro.obs.context import recording
+    from repro.obs.metrics import MetricsRecorder
+    from repro.obs.trace import TraceWriter, shard_path, span_id
+
+    stack = ExitStack()
+    writer = stack.enter_context(TraceWriter(
+        shard_path(spec.trace_path, index),
+        header_extra={
+            "span": span_id(seed, labels, index),
+            "seed": seed,
+            "labels": list(labels),
+            "trial": index,
+        },
+    ))
+    recorder = MetricsRecorder(
+        sample_every=spec.sample_every, trace=writer, profile=spec.profile
+    )
+    stack.enter_context(recording(recorder))
+    if spec.profile:
+        # Written at close, after the task ran: per-trial stage timings
+        # (pair_sampling / transition / resync) land in the shard --
+        # and hence the merged trace -- only under profiling, keeping
+        # unprofiled traces free of run-to-run timing noise.
+        stack.callback(
+            lambda: writer.write("aggregate", {"trial": index, **recorder.aggregates()})
+        )
+    return stack
+
+
+def _run_trial_sharded(
+    task: TrialTask,
+    seed: int,
+    labels: Tuple[Label, ...],
+    index: int,
+    spec: _ShardSpec,
+) -> Any:
+    """Worker body for traced pooled runs: guarded, under a shard recorder."""
+    try:
+        with _trial_shard_scope(spec, seed, labels, index):
+            wall = time.perf_counter()
+            cpu = time.process_time()
+            value = task(make_rng(seed, *labels, index))
+            wall = time.perf_counter() - wall
+            cpu = time.process_time() - cpu
+    except BaseException as exc:  # noqa: B036 - reported, not swallowed
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        return _TrialFailure(type(exc).__name__, str(exc), traceback.format_exc())
+    if spec.profile:
+        return _TrialTiming(value, wall, cpu)
+    return value
 
 
 class _TrialTiming:
@@ -209,6 +306,7 @@ class ParallelTrialRunner:
         self.checkpoint = checkpoint
         self.recorder = recorder
         self._obs: Optional[Any] = None  # resolved per map_trials call
+        self._shard_spec: Optional[_ShardSpec] = None  # ditto
 
     @property
     def parallel(self) -> bool:
@@ -234,6 +332,16 @@ class ParallelTrialRunner:
         label_path: Tuple[Label, ...] = tuple(labels)
         run_key = (seed, label_path)
         self._obs = self.recorder if self.recorder is not None else current_recorder()
+        trace = getattr(self._obs, "trace", None)
+        self._shard_spec = (
+            _ShardSpec(
+                trace.path,
+                self._obs.sample_every,
+                bool(getattr(self._obs, "profile", False)),
+            )
+            if trace is not None
+            else None
+        )
         done: Dict[int, Any] = {}
         if self.checkpoint:
             done = {
@@ -251,7 +359,31 @@ class ParallelTrialRunner:
             else:
                 fresh = self._map_serial(task, seed, label_path, pending)
             done.update(fresh)
+            if self._shard_spec is not None:
+                self._merge_shards(pending)
         return [done[index] for index in range(trials)]
+
+    def _merge_shards(self, indices: Sequence[int]) -> None:
+        """Fold per-trial shards into the parent trace, in trial order.
+
+        Trial order (not completion order) is what makes the merged
+        stream deterministic; checkpoint-resumed trials wrote their
+        shards in an earlier run and are not re-merged.
+        """
+        from repro.obs.trace import merge_trace_shards, shard_path
+
+        assert self._shard_spec is not None and self._obs is not None
+        paths = [
+            shard_path(self._shard_spec.trace_path, index)
+            for index in sorted(indices)
+        ]
+        merged = merge_trace_shards(self._obs.trace, paths)
+        _LOG.debug(
+            "merged %d shard record(s) from %d trial(s) into %s",
+            merged,
+            len(paths),
+            self._shard_spec.trace_path,
+        )
 
     # -- serial path ----------------------------------------------------
 
@@ -265,12 +397,21 @@ class ParallelTrialRunner:
         results: Dict[int, Any] = {}
         run_key = (seed, labels)
         obs = self._obs
+        spec = self._shard_spec
         profiling = obs is not None and getattr(obs, "profile", False)
         for index in pending:
             wall = time.perf_counter() if profiling else 0.0
             cpu = time.process_time() if profiling else 0.0
             try:
-                value = _run_trial(task, seed, labels, index)
+                if spec is not None:
+                    # Traced runs shard serially too: the trial records
+                    # into its own span exactly as a pooled worker
+                    # would, so serial and pooled merges are
+                    # byte-comparable.
+                    with _trial_shard_scope(spec, seed, labels, index):
+                        value = _run_trial(task, seed, labels, index)
+                else:
+                    value = _run_trial(task, seed, labels, index)
             except Exception as exc:
                 raise TrialTaskError(
                     index, f"{type(exc).__name__}: {exc}", traceback.format_exc()
@@ -347,6 +488,7 @@ class ParallelTrialRunner:
 
         run_key = (seed, labels)
         obs = self._obs
+        spec = self._shard_spec
         profiling = obs is not None and getattr(obs, "profile", False)
         worker_body = _run_trial_timed if profiling else _run_trial_guarded
         try:
@@ -357,10 +499,18 @@ class ParallelTrialRunner:
             raise _PoolBroken() from exc
         try:
             try:
-                futures = {
-                    index: pool.submit(worker_body, task, seed, labels, index)
-                    for index in indices
-                }
+                if spec is not None:
+                    futures = {
+                        index: pool.submit(
+                            _run_trial_sharded, task, seed, labels, index, spec
+                        )
+                        for index in indices
+                    }
+                else:
+                    futures = {
+                        index: pool.submit(worker_body, task, seed, labels, index)
+                        for index in indices
+                    }
             except cf.BrokenExecutor as exc:
                 raise _PoolBroken() from exc
             for index, future in futures.items():

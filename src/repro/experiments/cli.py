@@ -14,6 +14,10 @@ Examples::
     repro chaos --adversary leader --n 64 128 --json chaos.json
     repro chaos --metrics m.json --trace t.jsonl   # + observability
     repro tail t.jsonl              # render a recorded trace as charts
+    repro bench --suite engine      # run a benchmark suite (ledgered)
+    repro bench --suite engine --update-baseline   # store the baseline
+    repro bench --suite engine --compare-baseline  # statistical gate
+    repro report                    # render the run ledger + deltas
 """
 
 from __future__ import annotations
@@ -50,6 +54,33 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="additionally time engine stages and individual trials "
         "(implies recording)",
     )
+
+
+def _add_ledger_arguments(parser: argparse.ArgumentParser) -> None:
+    """The run-ledger flags (``repro run`` / ``repro chaos`` / ``repro bench``)."""
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="append a stamped entry to this run ledger "
+        "(default: reports/ledger/ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append a run-ledger entry for this invocation",
+    )
+
+
+def _ledger_path(args: argparse.Namespace) -> Optional[str]:
+    """The ledger to append to, or ``None`` when stamping is off."""
+    if args.no_ledger:
+        return None
+    if args.ledger:
+        return args.ledger
+    from repro.obs.ledger import DEFAULT_LEDGER_PATH
+
+    return DEFAULT_LEDGER_PATH
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally write rows/checks CSVs and a manifest to DIR",
     )
     _add_obs_arguments(run_parser)
+    _add_ledger_arguments(run_parser)
 
     lint_parser = sub.add_parser(
         "lint",
@@ -216,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally write the machine-readable report to PATH",
     )
     _add_obs_arguments(chaos_parser)
+    _add_ledger_arguments(chaos_parser)
 
     tail_parser = sub.add_parser(
         "tail",
@@ -243,6 +276,101 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="validate the trace against the record schema first; "
         "exit non-zero on any problem",
+    )
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run benchmark suites with repeats and a statistical "
+        "regression gate against stored baselines",
+    )
+    bench_parser.add_argument(
+        "--suite",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="suite names to run (default: every discovered suite)",
+    )
+    bench_parser.add_argument(
+        "--list", action="store_true", help="list discovered suites and exit"
+    )
+    bench_parser.add_argument(
+        "--cells",
+        nargs="+",
+        default=None,
+        metavar="CELL",
+        help="run only these cells of the selected suite(s)",
+    )
+    bench_parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="root RNG seed"
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override every cell's repeat count",
+    )
+    bench_parser.add_argument(
+        "--compare-baseline",
+        action="store_true",
+        help="compare against the stored baseline; exit non-zero when a "
+        "regression is flagged outside measurement noise",
+    )
+    bench_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="store this run as the new baseline (after any comparison)",
+    )
+    bench_parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        metavar="DIR",
+        help="where baselines live (default: reports/ledger)",
+    )
+    bench_parser.add_argument(
+        "--bench-dir",
+        default="benchmarks",
+        metavar="DIR",
+        help="directory scanned for bench_*.py suites (default: benchmarks)",
+    )
+    bench_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="additionally write the full results (and comparison) to PATH",
+    )
+    _add_ledger_arguments(bench_parser)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render the run ledger and benchmark-vs-baseline deltas as "
+        "markdown; exit non-zero on flagged regressions",
+    )
+    report_parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="ledger to render (default: reports/ledger/ledger.jsonl)",
+    )
+    report_parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        metavar="DIR",
+        help="where baselines live (default: reports/ledger)",
+    )
+    report_parser.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="history rows to show (default: 20)",
+    )
+    report_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the markdown report to this file instead of stdout",
     )
     return parser
 
@@ -283,13 +411,31 @@ def _run_one(
     output: Optional[str],
     csv_dir: Optional[str] = None,
     workers: Optional[int] = None,
+    ledger_path: Optional[str] = None,
+    recorder: Optional[Any] = None,
 ) -> bool:
     # perf_counter, not time.time: elapsed is a duration, and time.time
-    # can step backwards under clock adjustment (the one wall-clock
-    # timestamp lives in results.build_manifest).
+    # can step backwards under clock adjustment (wall-clock timestamps
+    # live in results.build_manifest and the ledger's provenance stamp).
     started = time.perf_counter()
+    cpu_started = time.process_time()
     report = run_experiment(experiment_id, seed=seed, quick=quick, workers=workers)
     elapsed = time.perf_counter() - started
+    if ledger_path:
+        from repro.obs.ledger import record_invocation
+
+        record_invocation(
+            "run",
+            path=ledger_path,
+            recorder=recorder,
+            experiment=experiment_id,
+            seed=seed,
+            quick=quick,
+            workers=workers,
+            all_passed=report.all_passed,
+            wall_seconds=round(elapsed, 6),
+            cpu_seconds=round(time.process_time() - cpu_started, 6),
+        )
     if csv_dir:
         from repro.experiments.results import write_artifacts
 
@@ -348,12 +494,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         ))
         return 0
 
+    if args.command == "bench":
+        return _cmd_bench(args)
+
+    if args.command == "report":
+        return _cmd_report(args)
+
     if args.command == "chaos":
         # Imported lazily: the sweep pulls in the chaos + count machinery.
         from repro.experiments.chaos import run_chaos, write_json
 
         with ExitStack() as stack:
             recorder = _install_recorder(args, stack)
+            started = time.perf_counter()
+            cpu_started = time.process_time()
             try:
                 result = run_chaos(
                     protocols=args.protocol,
@@ -373,6 +527,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             except ValueError as exc:
                 print(f"chaos: {exc}", file=sys.stderr)
                 return 2
+            ledger_path = _ledger_path(args)
+            if ledger_path:
+                from repro.obs.ledger import record_invocation
+
+                record_invocation(
+                    "chaos",
+                    path=ledger_path,
+                    recorder=recorder,
+                    protocols=list(args.protocol),
+                    n=list(args.n),
+                    adversary=args.adversary,
+                    trials=args.trials,
+                    seed=args.seed,
+                    engine=args.engine,
+                    workers=args.workers,
+                    all_recovered=result.all_recovered,
+                    wall_seconds=round(time.perf_counter() - started, 6),
+                    cpu_seconds=round(time.process_time() - cpu_started, 6),
+                )
             print(result.render())
             if args.json_path:
                 write_json(result, args.json_path)
@@ -393,11 +566,115 @@ def main(argv: Optional[List[str]] = None) -> int:
                     args.output,
                     args.csv,
                     args.workers,
+                    _ledger_path(args),
+                    recorder,
                 )
                 and ok
             )
         _finish_recorder(args, recorder)
     return 0 if ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run suites, gate against baselines, ledger it all."""
+    from repro.obs import bench as bench_mod
+    from repro.obs.ledger import record_invocation
+
+    baseline_dir = args.baseline_dir or bench_mod.DEFAULT_BASELINE_DIR
+    suites = bench_mod.discover_suites(args.bench_dir)
+    if args.list:
+        for name in sorted(suites):
+            suite = suites[name]
+            print(f"{name:<12} {len(suite.cells):>2} cell(s)  {suite.description}")
+        return 0
+    selected = args.suite or sorted(suites)
+    unknown = [name for name in selected if name not in suites]
+    if unknown:
+        print(
+            f"bench: unknown suite(s) {', '.join(unknown)}; "
+            f"discovered: {', '.join(sorted(suites)) or 'none'}",
+            file=sys.stderr,
+        )
+        return 2
+    ledger_path = _ledger_path(args)
+    flagged = 0
+    missing_baseline = False
+    documents = []
+    for name in selected:
+        try:
+            result = bench_mod.run_suite(
+                suites[name], seed=args.seed, repeats=args.repeats, cells=args.cells
+            )
+        except ValueError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        print(bench_mod.render_suite_result(result))
+        comparison = None
+        if args.compare_baseline:
+            baseline = bench_mod.load_baseline(name, baseline_dir)
+            if baseline is None:
+                print(
+                    f"bench: no stored baseline for suite {name!r} in "
+                    f"{baseline_dir}; store one with --update-baseline",
+                    file=sys.stderr,
+                )
+                missing_baseline = True
+            else:
+                comparison = bench_mod.compare_suites(baseline, result)
+                print(bench_mod.render_comparison(comparison))
+                flagged += comparison["regressions"]
+        if args.update_baseline:
+            path = bench_mod.save_baseline(result, baseline_dir)
+            print(f"bench: stored baseline at {path}")
+        if ledger_path:
+            record_invocation(
+                "bench",
+                path=ledger_path,
+                **bench_mod.ledger_fields(result, comparison),
+            )
+        documents.append({"result": result, "comparison": comparison})
+    if args.json_path:
+        import json as json_mod
+
+        with open(args.json_path, "w", encoding="utf8") as handle:
+            json_mod.dump(documents, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"bench: wrote JSON results to {args.json_path}")
+    if flagged:
+        print(
+            f"bench: FAILED — {flagged} statistical regression(s) flagged",
+            file=sys.stderr,
+        )
+        return 1
+    if missing_baseline:
+        return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: render the ledger; red when regressions stand."""
+    from repro.obs import bench as bench_mod
+    from repro.obs.ledger import DEFAULT_LEDGER_PATH
+    from repro.obs.report import render_report
+
+    text, flagged = render_report(
+        args.ledger or DEFAULT_LEDGER_PATH,
+        baseline_dir=args.baseline_dir or bench_mod.DEFAULT_BASELINE_DIR,
+        limit=args.limit,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf8") as handle:
+            handle.write(text)
+        print(f"report: wrote {args.output}")
+    else:
+        print(text)
+    if flagged:
+        print(
+            f"report: {flagged} flagged regression(s) in the latest bench entries",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

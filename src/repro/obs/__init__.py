@@ -30,29 +30,56 @@ time-series.  Logging uses a ``repro``-rooted stdlib logger hierarchy
 """
 
 from repro.obs.context import current_recorder, recording
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_PATH,
+    LEDGER_SCHEMA_VERSION,
+    append_entry,
+    iter_ledger,
+    make_entry,
+    read_ledger,
+    record_invocation,
+)
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import MetricsRecorder, SampledMetricsMonitor, percentile
 from repro.obs.profile import Stopwatch
+from repro.obs.provenance import git_sha, run_stamp
 from repro.obs.trace import (
     RECORD_TYPES,
     TRACE_SCHEMA_VERSION,
     TraceWriter,
+    iter_trace,
+    merge_trace_shards,
     read_trace,
+    shard_path,
+    span_id,
     validate_trace,
 )
 
 __all__ = [
+    "DEFAULT_LEDGER_PATH",
+    "LEDGER_SCHEMA_VERSION",
     "MetricsRecorder",
     "RECORD_TYPES",
     "SampledMetricsMonitor",
     "Stopwatch",
     "TRACE_SCHEMA_VERSION",
     "TraceWriter",
+    "append_entry",
     "configure_logging",
     "current_recorder",
     "get_logger",
+    "git_sha",
+    "iter_ledger",
+    "iter_trace",
+    "make_entry",
+    "merge_trace_shards",
     "percentile",
+    "read_ledger",
     "read_trace",
+    "record_invocation",
     "recording",
+    "run_stamp",
+    "shard_path",
+    "span_id",
     "validate_trace",
 ]

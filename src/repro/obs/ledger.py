@@ -1,0 +1,163 @@
+"""The run ledger: an append-only JSONL history of every invocation.
+
+One-off numbers cannot show a trend.  The ledger turns each ``repro
+run``, ``repro chaos`` and ``repro bench`` invocation into one durable,
+schema-versioned JSONL record under ``reports/ledger/``, stamped with
+the provenance triple (schema version, git SHA, wall-clock timestamp)
+plus the run's identity (experiment/protocol, engine, n, seed), its
+wall/CPU time, and -- when the run was recorded -- the
+:meth:`~repro.obs.metrics.MetricsRecorder.aggregates` summary.  A
+trajectory of such records is what the statistical regression gate in
+:mod:`repro.obs.bench` compares against, and what ``repro report``
+renders.
+
+Durability follows the checkpoint-journal pattern from
+:mod:`repro.core.parallel`: a record is serialized *before* the file is
+opened and lands in one ``write`` call, so a crash mid-append can never
+leave half a record, and appending must never kill the run it is
+describing (failures degrade to a logged warning).  A torn tail left by
+an out-of-band writer is healed at the next append by prefixing a
+newline, so one bad line never corrupts its successor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.log import get_logger
+from repro.obs.provenance import run_stamp
+
+__all__ = [
+    "DEFAULT_LEDGER_PATH",
+    "LEDGER_SCHEMA_VERSION",
+    "append_entry",
+    "iter_ledger",
+    "make_entry",
+    "read_ledger",
+    "record_invocation",
+]
+
+#: Version of the ledger record format; bump on incompatible changes.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Where the CLI appends by default (``--ledger`` overrides).
+DEFAULT_LEDGER_PATH = os.path.join("reports", "ledger", "ledger.jsonl")
+
+#: Invocation kinds the ledger records.
+ENTRY_KINDS = ("run", "chaos", "bench")
+
+logger = get_logger("obs.ledger")
+
+
+def make_entry(kind: str, **fields: Any) -> Dict[str, Any]:
+    """Build one stamped ledger entry (does not write it).
+
+    ``fields`` are the invocation-specific payload: experiment id or
+    protocol keys, engine, n, seed, ``wall_seconds``/``cpu_seconds``,
+    pass/fail summary, recorder aggregates.  ``None``-valued fields are
+    dropped so entries stay compact.
+    """
+    if kind not in ENTRY_KINDS:
+        raise ValueError(f"unknown ledger entry kind {kind!r}; known: {ENTRY_KINDS}")
+    entry: Dict[str, Any] = {
+        "schema_version": LEDGER_SCHEMA_VERSION,
+        "kind": kind,
+        **run_stamp(),
+    }
+    entry.update({key: value for key, value in fields.items() if value is not None})
+    return entry
+
+
+def append_entry(path: str, entry: Dict[str, Any]) -> bool:
+    """Atomically append one entry; returns whether it was journaled.
+
+    Serialize-then-single-write: an unserializable entry or a failing
+    filesystem downgrades to a warning -- the ledger observes runs, it
+    must never abort them.  If the existing file does not end in a
+    newline (a torn append from a killed writer), the record is
+    prefixed with one so the damage stays confined to the old line.
+    """
+    try:
+        payload = json.dumps(entry, sort_keys=True, default=str) + "\n"
+    except (TypeError, ValueError) as exc:
+        logger.warning("ledger %s: entry not journaled (unserializable: %s)", path, exc)
+        return False
+    try:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if _needs_newline_repair(path):
+            payload = "\n" + payload
+        with open(path, "a", encoding="utf8") as handle:
+            handle.write(payload)
+    except OSError as exc:
+        logger.warning("ledger %s: entry not journaled (write failed: %s)", path, exc)
+        return False
+    return True
+
+
+def _needs_newline_repair(path: str) -> bool:
+    """Whether ``path`` ends mid-line (torn tail from a killed writer)."""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return False
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+    except OSError:
+        return False
+
+
+def iter_ledger(path: str) -> Iterator[Dict[str, Any]]:
+    """Stream ledger entries oldest-first, skipping damaged lines.
+
+    A missing ledger yields nothing (a fresh checkout has no history
+    yet); an unparseable line -- the torn tail of a crashed append --
+    is skipped with a warning, exactly like a damaged trace line.
+    """
+    if not os.path.exists(path):
+        return
+    skipped = 0
+    with open(path, encoding="utf8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(entry, dict):
+                yield entry
+    if skipped:
+        logger.warning("ledger %s: skipped %d unparseable line(s)", path, skipped)
+
+
+def read_ledger(path: str) -> List[Dict[str, Any]]:
+    """All ledger entries as a list (convenience over :func:`iter_ledger`)."""
+    return list(iter_ledger(path))
+
+
+def record_invocation(
+    kind: str,
+    *,
+    path: Optional[str] = None,
+    recorder: Optional[Any] = None,
+    **fields: Any,
+) -> Dict[str, Any]:
+    """Stamp and append one invocation; returns the entry either way.
+
+    When the run carried a :class:`~repro.obs.metrics.MetricsRecorder`
+    its :meth:`aggregates` summary rides along, so ledger entries from
+    recorded runs are directly comparable (throughput, recovery-time
+    percentiles, phase timings).
+    """
+    if recorder is not None:
+        fields.setdefault("aggregates", recorder.aggregates())
+    entry = make_entry(kind, **fields)
+    append_entry(path or DEFAULT_LEDGER_PATH, entry)
+    return entry

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.trace import read_trace
+from repro.obs.trace import iter_trace
 
 #: Series plotted by default, in display order, when present in samples.
 DEFAULT_SERIES = (
@@ -50,6 +50,10 @@ def available_series(records: Sequence[Dict[str, Any]]) -> List[str]:
     return list(fields)
 
 
+#: Sample fields never charted (time axis, bookkeeping, identities).
+_NON_SERIES_FIELDS = ("t", "v", "type", "interactions", "events", "changes", "span")
+
+
 def render_trace(
     path: str,
     *,
@@ -58,23 +62,65 @@ def render_trace(
     height: int = 8,
     show_events: bool = True,
 ) -> str:
-    """The full ``repro tail`` rendering of one trace file."""
+    """The full ``repro tail`` rendering of one trace file.
+
+    One streaming pass over :func:`~repro.obs.trace.iter_trace`: only
+    the ``(t, value)`` points of the charted series are held in memory,
+    never the raw records -- a merged multi-hundred-MB worker-shard
+    trace tails in bounded extra space per sample.
+    """
     # Imported here: obs stays importable without the experiments layer.
     from repro.experiments.asciiplot import AsciiChart
 
-    records = read_trace(path)
-    samples = sum(1 for r in records if r.get("type") == "sample")
-    events = [r for r in records if r.get("type") == "event"]
-    lines: List[str] = [
-        f"trace {path}: {len(records)} record(s), "
-        f"{samples} sample(s), {len(events)} event(s)"
-    ]
+    wanted = set(series) if series is not None else None
+    points_by_field: Dict[str, List[Tuple[float, float]]] = {}
+    event_counts: Dict[str, int] = {}
+    aggregate_lines: List[str] = []
+    records = 0
+    samples = 0
+    events = 0
+    for record in iter_trace(path):
+        records += 1
+        rtype = record.get("type")
+        if rtype == "sample":
+            samples += 1
+            t = record.get("t")
+            if not isinstance(t, (int, float)):
+                continue
+            for name, value in record.items():
+                if name in _NON_SERIES_FIELDS:
+                    continue
+                if wanted is not None and name not in wanted:
+                    continue
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    points_by_field.setdefault(name, []).append(
+                        (float(t), float(value))
+                    )
+        elif rtype == "event":
+            events += 1
+            kind = str(record.get("kind"))
+            event_counts[kind] = event_counts.get(kind, 0) + 1
+        elif rtype == "aggregate":
+            throughput = record.get("throughput") or {}
+            rate = throughput.get("interactions_per_second")
+            aggregate_lines.append(
+                "aggregate: "
+                f"{throughput.get('interactions', 0)} interactions"
+                + (f" at {rate:.3e}/s" if isinstance(rate, (int, float)) else "")
+            )
 
+    lines: List[str] = [
+        f"trace {path}: {records} record(s), "
+        f"{samples} sample(s), {events} event(s)"
+    ]
     if series is None:
-        present = available_series(records)
-        series = [name for name in DEFAULT_SERIES if name in present] or present
+        ordered = [name for name in DEFAULT_SERIES if name in points_by_field]
+        ordered += [
+            name for name in points_by_field if name not in DEFAULT_SERIES
+        ]
+        series = ordered or list(DEFAULT_SERIES[:1])
     for name in series:
-        points = sample_series(records, name)
+        points = points_by_field.get(name, [])
         if not points:
             lines.append(f"\n{name}: no sampled points in this trace")
             continue
@@ -85,23 +131,13 @@ def render_trace(
         lines.append("")
         lines.append(chart.render())
 
-    if show_events and events:
-        counts: Dict[str, int] = {}
-        for event in events:
-            kind = str(event.get("kind"))
-            counts[kind] = counts.get(kind, 0) + 1
+    if show_events and event_counts:
         lines.append("")
         lines.append(
             "events: "
-            + "  ".join(f"{kind}={count}" for kind, count in sorted(counts.items()))
-        )
-    for record in records:
-        if record.get("type") == "aggregate":
-            throughput = record.get("throughput") or {}
-            rate = throughput.get("interactions_per_second")
-            lines.append(
-                "aggregate: "
-                f"{throughput.get('interactions', 0)} interactions"
-                + (f" at {rate:.3e}/s" if isinstance(rate, (int, float)) else "")
+            + "  ".join(
+                f"{kind}={count}" for kind, count in sorted(event_counts.items())
             )
+        )
+    lines.extend(aggregate_lines)
     return "\n".join(lines)

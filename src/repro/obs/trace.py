@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs.log import get_logger
+from repro.obs.provenance import run_stamp
 
 #: Version of the trace record format; bump on incompatible changes.
 TRACE_SCHEMA_VERSION = 1
@@ -55,7 +56,13 @@ class TraceWriter:
     batches of ``buffer_records`` lines.
     """
 
-    def __init__(self, path: str, *, buffer_records: int = 256):
+    def __init__(
+        self,
+        path: str,
+        *,
+        buffer_records: int = 256,
+        header_extra: Optional[Dict[str, Any]] = None,
+    ):
         if buffer_records < 1:
             raise ValueError(f"buffer_records must be >= 1, got {buffer_records}")
         self.path = path
@@ -69,9 +76,15 @@ class TraceWriter:
         # Truncate eagerly: a trace describes exactly one run.
         with open(path, "w", encoding="utf8"):
             pass
+        # The header makes the trace self-describing after it leaves the
+        # working tree: format version plus the provenance stamp (git
+        # SHA, wall-clock creation time).  ``header_extra`` lets shard
+        # writers add their span identity.
         self.write("header", {
             "schema_version": TRACE_SCHEMA_VERSION,
             "source": "repro.obs",
+            **run_stamp(),
+            **(header_extra or {}),
         })
 
     def write(self, record_type: str, record: Dict[str, Any]) -> None:
@@ -113,14 +126,17 @@ class TraceWriter:
         self.close()
 
 
-def read_trace(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace into a list of record dicts.
+def iter_trace(path: str) -> Iterator[Dict[str, Any]]:
+    """Stream a JSONL trace record by record.
 
-    Unparseable lines (a truncated tail from a killed run) are skipped
-    with a warning rather than failing the whole read -- the same
-    tolerance the checkpoint journal applies.
+    This is the reading primitive every consumer should build on: one
+    line is in memory at a time, so tailing or merging a
+    multi-hundred-MB worker-shard trace never materializes the whole
+    file.  Unparseable lines (a truncated tail from a killed run) are
+    skipped with a warning rather than failing the whole read -- the
+    same tolerance the checkpoint journal applies.
     """
-    records: List[Dict[str, Any]] = []
+    parsed = 0
     skipped = 0
     with open(path, encoding="utf8") as handle:
         for line in handle:
@@ -128,17 +144,29 @@ def read_trace(path: str) -> List[Dict[str, Any]]:
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError:
                 skipped += 1
+                continue
+            parsed += 1
+            yield record
     if skipped:
         logger.warning(
             "trace %s: recovered %d record(s), skipped %d unparseable line(s)",
             path,
-            len(records),
+            parsed,
             skipped,
         )
-    return records
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a whole JSONL trace into a list of record dicts.
+
+    Convenience wrapper over :func:`iter_trace` for small traces and
+    tests; streaming consumers (``repro tail``, the shard merge) use
+    the iterator directly.
+    """
+    return list(iter_trace(path))
 
 
 def validate_trace(path: str) -> List[str]:
@@ -198,3 +226,67 @@ def validate_trace(path: str) -> List[str]:
         if rtype == "event" and not isinstance(record.get("kind"), str):
             problems.append(f"line {lineno}: event record has no 'kind'")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# Worker-level trace shards
+# ---------------------------------------------------------------------------
+#
+# A pooled trial run cannot share the parent's TraceWriter (workers are
+# separate processes), so each trial writes its own *shard*: a complete
+# mini-trace whose header carries the trial's span identity.  The parent
+# merges shards back into the main trace in trial order, tagging every
+# record with the span id, which makes the merged stream deterministic:
+# a serial run producing the same shards merges to the same bytes.
+
+
+def span_id(seed: int, labels: Sequence[Any], index: int) -> str:
+    """The deterministic span identity of one trial.
+
+    Mirrors the RNG derivation path ``(seed, *labels, index)`` -- the
+    same triple that makes the trial's randomness reproducible names
+    its trace records.
+    """
+    label_part = "/".join(str(label) for label in labels)
+    return f"{seed}:{label_part}:{index}"
+
+
+def shard_path(trace_path: str, index: int) -> str:
+    """Where trial ``index``'s shard lives, next to the parent trace."""
+    return f"{trace_path}.shard-{index:05d}.jsonl"
+
+
+def merge_trace_shards(writer: "TraceWriter", shard_paths: Sequence[str]) -> int:
+    """Merge trial shards into ``writer``, in the order given.
+
+    Every shard record (minus the shard's own header) is re-emitted
+    tagged with the shard's ``span``, streaming one record at a time
+    (see :func:`iter_trace`) so merging never loads a shard into
+    memory.  Returns the number of records merged.  Callers pass shard
+    paths in trial-index order; since record serialization sorts keys,
+    the merged byte stream is then a pure function of the shard
+    contents.
+    """
+    merged = 0
+    for path in shard_paths:
+        if not os.path.exists(path):
+            continue
+        span: Optional[str] = None
+        for record in iter_trace(path):
+            if record.get("type") == "header":
+                value = record.get("span")
+                span = str(value) if value is not None else None
+                continue
+            rtype = record.get("type")
+            if rtype not in RECORD_TYPES:
+                continue
+            body = {
+                key: value
+                for key, value in record.items()
+                if key not in ("v", "type")
+            }
+            if span is not None:
+                body["span"] = span
+            writer.write(str(rtype), body)
+            merged += 1
+    return merged

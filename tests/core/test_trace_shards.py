@@ -1,0 +1,204 @@
+"""Tests for worker-level trace shards and deterministic shard merging.
+
+The contracts: when the ambient recorder carries a trace, every trial
+(serial *and* pooled) records into its own shard keyed by the trial's
+``(seed, *labels, index)`` span; the parent's merged trace is
+byte-identical between a 1-worker and an N-worker run of the same
+seed; trial results stay bit-identical to an unrecorded run (recording
+consumes no engine randomness); and with no trace attached nothing is
+written at all.
+"""
+
+import glob
+import json
+import os
+import random
+
+from repro.core.parallel import ParallelTrialRunner
+from repro.core.rng import make_rng
+from repro.obs import (
+    MetricsRecorder,
+    TraceWriter,
+    iter_trace,
+    merge_trace_shards,
+    read_trace,
+    recording,
+    shard_path,
+    span_id,
+    validate_trace,
+)
+from repro.obs.context import current_recorder
+
+
+def sampling_draw(rng: random.Random) -> float:
+    """A trial that records samples and an event via the ambient recorder."""
+    recorder = current_recorder()
+    total = 0.0
+    for step in range(4):
+        value = rng.random()
+        total += value
+        if recorder is not None:
+            recorder.sample(t=float(step), leaders=int(value * 3), rank_coverage=value)
+    if recorder is not None:
+        recorder.event("convergence", total=round(total, 6))
+    return total
+
+
+def _traced_run(tmp_path, workers: int, *, trials: int = 6, profile: bool = False):
+    """Run ``sampling_draw`` under a traced recorder; returns (path, results)."""
+    path = str(tmp_path / f"trace_w{workers}.jsonl")
+    writer = TraceWriter(path)
+    recorder = MetricsRecorder(sample_every=1, trace=writer, profile=profile)
+    with recording(recorder):
+        results = ParallelTrialRunner(workers).map_trials(
+            sampling_draw, seed=99, labels=("shards",), trials=trials
+        )
+    writer.close()
+    return path, results
+
+
+def _body(path: str) -> bytes:
+    """Trace bytes after the header line (the header carries a timestamp)."""
+    with open(path, "rb") as handle:
+        return handle.read().split(b"\n", 1)[1]
+
+
+class TestSpanHelpers:
+    def test_span_id_is_seed_labels_index(self):
+        assert span_id(7, ("chaos", 64), 3) == "7:chaos/64:3"
+
+    def test_shard_path_is_zero_padded(self):
+        assert shard_path("/tmp/t.jsonl", 4) == "/tmp/t.jsonl.shard-00004.jsonl"
+
+
+class TestShardMergeDeterminism:
+    def test_parallel_merge_byte_identical_to_serial(self, tmp_path):
+        serial_path, serial_results = _traced_run(tmp_path, 1)
+        parallel_path, parallel_results = _traced_run(tmp_path, 2)
+        assert serial_results == parallel_results
+        assert _body(serial_path) == _body(parallel_path)
+        assert len(_body(serial_path)) > 0
+
+    def test_results_bit_identical_to_untraced_run(self, tmp_path):
+        """Recording consumes no engine randomness."""
+        _, traced = _traced_run(tmp_path, 2)
+        untraced = ParallelTrialRunner(2).map_trials(
+            sampling_draw, seed=99, labels=("shards",), trials=6
+        )
+        assert traced == untraced
+
+    def test_merged_records_carry_spans_in_trial_order(self, tmp_path):
+        path, _ = _traced_run(tmp_path, 2, trials=3)
+        spans = [record["span"] for record in read_trace(path) if "span" in record]
+        assert spans == sorted(spans)
+        assert spans[0] == span_id(99, ("shards",), 0)
+        assert spans[-1] == span_id(99, ("shards",), 2)
+        assert validate_trace(path) == []
+
+    def test_shards_stay_on_disk_for_postmortems(self, tmp_path):
+        path, _ = _traced_run(tmp_path, 2, trials=3)
+        shards = sorted(glob.glob(path + ".shard-*.jsonl"))
+        assert len(shards) == 3
+        header = read_trace(shards[0])[0]
+        assert header["span"] == span_id(99, ("shards",), 0)
+        assert header["trial"] == 0
+
+    def test_event_counts_survive_the_merge(self, tmp_path):
+        path, _ = _traced_run(tmp_path, 2, trials=6)
+        events = [r for r in read_trace(path) if r.get("type") == "event"]
+        assert len(events) == 6
+        assert all(event["kind"] == "convergence" for event in events)
+
+    def test_profile_mode_adds_per_trial_aggregates(self, tmp_path):
+        path, _ = _traced_run(tmp_path, 2, trials=3, profile=True)
+        aggregates = [r for r in read_trace(path) if r.get("type") == "aggregate"]
+        assert [record["trial"] for record in aggregates] == [0, 1, 2]
+
+
+class TestZeroCostWhenOff:
+    def test_no_trace_no_shards(self, tmp_path):
+        """A recorder without a trace never touches the filesystem."""
+        recorder = MetricsRecorder(sample_every=4)
+        with recording(recorder):
+            ParallelTrialRunner(2).map_trials(
+                sampling_draw, seed=5, labels=("off",), trials=4
+            )
+        assert glob.glob(str(tmp_path / "*")) == []
+
+    def test_no_recorder_is_the_seed_behavior(self):
+        results = ParallelTrialRunner(2).map_trials(
+            sampling_draw, seed=5, labels=("off",), trials=4
+        )
+        expected = [sampling_draw(make_rng(5, "off", i)) for i in range(4)]
+        assert results == expected
+
+
+class TestMergeTraceShards:
+    def test_merges_bodies_and_attaches_span(self, tmp_path):
+        shard_paths = []
+        for index in range(2):
+            path = shard_path(str(tmp_path / "main.jsonl"), index)
+            writer = TraceWriter(path, header_extra={"span": f"s:{index}"})
+            writer.write("sample", {"t": 0.0, "leaders": index})
+            writer.close()
+            shard_paths.append(path)
+        merged_path = str(tmp_path / "main.jsonl")
+        writer = TraceWriter(merged_path)
+        merged = merge_trace_shards(writer, shard_paths)
+        writer.close()
+        assert merged == 2
+        records = [r for r in read_trace(merged_path) if r.get("type") == "sample"]
+        assert [record["span"] for record in records] == ["s:0", "s:1"]
+
+    def test_missing_shard_skipped(self, tmp_path):
+        path = shard_path(str(tmp_path / "main.jsonl"), 0)
+        writer = TraceWriter(path, header_extra={"span": "s:0"})
+        writer.write("event", {"kind": "x"})
+        writer.close()
+        out = str(tmp_path / "main.jsonl")
+        writer = TraceWriter(out)
+        merged = merge_trace_shards(writer, [path, str(tmp_path / "absent.jsonl")])
+        writer.close()
+        assert merged == 1
+
+
+class TestStreamingIterTrace:
+    def test_iter_matches_read(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = TraceWriter(path)
+        for step in range(5):
+            writer.write("sample", {"t": float(step), "leaders": step})
+        writer.close()
+        assert list(iter_trace(path)) == read_trace(path)
+
+    def test_damaged_line_skipped(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = TraceWriter(path)
+        writer.write("sample", {"t": 0.0})
+        writer.close()
+        with open(path, "a") as handle:
+            handle.write("{torn\n")
+        records = list(iter_trace(path))
+        assert len(records) == 2  # header + sample; torn line dropped
+
+
+class TestHeaderStamp:
+    def test_header_carries_provenance_and_extras(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        TraceWriter(path, header_extra={"span": "a:b:0"}).close()
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        assert header["type"] == "header"
+        assert header["schema_version"] == 1
+        assert header["span"] == "a:b:0"
+        assert "created_unix" in header
+        if header.get("git_sha"):
+            assert len(header["git_sha"]) == 40
+
+    def test_shard_files_removable_after_merge(self, tmp_path):
+        """Shards are plain files next to the parent trace; cleanup is
+        the caller's call (they are kept for postmortems by design)."""
+        path, _ = _traced_run(tmp_path, 2, trials=2)
+        for shard in glob.glob(path + ".shard-*.jsonl"):
+            os.remove(shard)
+        assert validate_trace(path) == []

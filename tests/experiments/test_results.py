@@ -66,7 +66,10 @@ class TestWriteArtifacts:
 
 class TestCliCsvFlag:
     def test_run_with_csv(self, tmp_path, capsys):
-        assert main(["run", "figure2", "--quick", "--csv", str(tmp_path)]) == 0
+        assert (
+            main(["run", "figure2", "--quick", "--no-ledger", "--csv", str(tmp_path)])
+            == 0
+        )
         assert (tmp_path / "figure2.csv").exists()
         assert (tmp_path / "figure2.manifest.json").exists()
         manifest = json.loads((tmp_path / "figure2.manifest.json").read_text())

@@ -137,15 +137,130 @@ class TestCli:
         assert "table1" in out and "figure2" in out
 
     def test_run_figure2(self, capsys):
-        assert main(["run", "figure2", "--quick"]) == 0
+        assert main(["run", "figure2", "--quick", "--no-ledger"]) == 0
         out = capsys.readouterr().out
         assert "Figure 2" in out
 
     def test_run_writes_output_file(self, tmp_path, capsys):
         target = tmp_path / "report.md"
-        assert main(["run", "figure2", "--quick", "-o", str(target)]) == 0
+        assert (
+            main(["run", "figure2", "--quick", "--no-ledger", "-o", str(target)]) == 0
+        )
         assert "Figure 2" in target.read_text()
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
-            main(["run", "definitely-not-real"])
+            main(["run", "definitely-not-real", "--no-ledger"])
+
+    def test_run_appends_ledger_entry(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["run", "figure2", "--quick", "--ledger", str(ledger)]) == 0
+        from repro.obs import read_ledger
+
+        entries = read_ledger(str(ledger))
+        assert len(entries) == 1
+        assert entries[0]["kind"] == "run"
+        assert entries[0]["experiment"] == "figure2"
+        assert entries[0]["all_passed"] is True
+        assert entries[0]["wall_seconds"] > 0
+
+
+class TestCliBench:
+    def _bench_dir(self, tmp_path, scale="1"):
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir(exist_ok=True)
+        (bench_dir / "bench_toy.py").write_text(
+            "def bench_suite():\n"
+            "    from repro.obs.bench import BenchSuite\n"
+            "    def cell(seed, repeat):\n"
+            f"        return {scale} * (1.0 + 0.01 * repeat)\n"
+            "    return BenchSuite('toy').cell('loop', cell, repeats=3)\n"
+        )
+        return str(bench_dir)
+
+    def _argv(self, tmp_path, bench_dir, *extra):
+        return [
+            "bench",
+            "--suite",
+            "toy",
+            "--bench-dir",
+            bench_dir,
+            "--baseline-dir",
+            str(tmp_path / "baselines"),
+            "--ledger",
+            str(tmp_path / "ledger.jsonl"),
+            *extra,
+        ]
+
+    def test_list_suites(self, tmp_path, capsys):
+        bench_dir = self._bench_dir(tmp_path)
+        assert main(["bench", "--list", "--bench-dir", bench_dir, "--no-ledger"]) == 0
+        assert "toy" in capsys.readouterr().out
+
+    def test_unknown_suite_exits_2(self, tmp_path, capsys):
+        bench_dir = self._bench_dir(tmp_path)
+        argv = self._argv(tmp_path, bench_dir)
+        argv[argv.index("toy")] = "nope"
+        assert main(argv) == 2
+
+    def test_same_speed_rerun_not_flagged(self, tmp_path, capsys):
+        """Acceptance: two runs at the same SHA show zero regressions."""
+        bench_dir = self._bench_dir(tmp_path)
+        assert main(self._argv(tmp_path, bench_dir, "--update-baseline")) == 0
+        assert main(self._argv(tmp_path, bench_dir, "--compare-baseline")) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s) flagged" in out
+
+    def test_injected_slowdown_flagged_nonzero_exit(self, tmp_path, capsys):
+        """Acceptance: a 10x slowdown is flagged and exits nonzero."""
+        fast = self._bench_dir(tmp_path)
+        assert main(self._argv(tmp_path, fast, "--update-baseline")) == 0
+        slow = self._bench_dir(tmp_path, scale="10")
+        assert main(self._argv(tmp_path, slow, "--compare-baseline")) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        bench_dir = self._bench_dir(tmp_path)
+        assert main(self._argv(tmp_path, bench_dir, "--compare-baseline")) == 2
+
+    def test_bench_appends_ledger_entry(self, tmp_path, capsys):
+        bench_dir = self._bench_dir(tmp_path)
+        assert main(self._argv(tmp_path, bench_dir)) == 0
+        from repro.obs import read_ledger
+
+        entries = read_ledger(str(tmp_path / "ledger.jsonl"))
+        assert len(entries) == 1
+        assert entries[0]["kind"] == "bench"
+        assert entries[0]["suite"] == "toy"
+        assert "loop" in entries[0]["cells"]
+
+    def test_json_output(self, tmp_path, capsys):
+        bench_dir = self._bench_dir(tmp_path)
+        target = tmp_path / "bench.json"
+        assert main(self._argv(tmp_path, bench_dir, "--json", str(target))) == 0
+        import json
+
+        documents = json.loads(target.read_text())
+        assert documents[0]["result"]["suite"] == "toy"
+
+
+class TestCliReport:
+    def test_report_renders_ledger(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["run", "figure2", "--quick", "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "Run ledger report" in out
+        assert "figure2" in out
+
+    def test_report_writes_output_file(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main(["run", "figure2", "--quick", "--ledger", str(ledger)]) == 0
+        target = tmp_path / "report.md"
+        assert main(["report", "--ledger", str(ledger), "-o", str(target)]) == 0
+        assert "figure2" in target.read_text()
+
+    def test_empty_ledger_report(self, tmp_path, capsys):
+        assert main(["report", "--ledger", str(tmp_path / "absent.jsonl")]) == 0
+        assert "no ledger entries" in capsys.readouterr().out.lower()
