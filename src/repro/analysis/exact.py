@@ -14,18 +14,22 @@ solves a linear system exactly:
 
     E[C] = (skip cost) n (n-1) / W(C)  +  sum_r (w_r / W) E[C_r']
 
-where ``W = sum_r c_r (c_r - 1)``.  This module builds the system over
-the reachable set and solves it with numpy, giving ground-truth expected
-stabilization times (in interactions) that the test suite uses to
-validate both the sequential engine and the exact-jump fast path to
-within Monte-Carlo error -- and giving exact Table 1 row 1 constants at
-toy sizes.
+where ``W = sum_r c_r (c_r - 1)``.  The count-vector combinatorics above
+are kept here as the worked example (and for the closed-form worst-case
+assertion); the linear system itself is solved by the *generic* exact
+subsystem, :mod:`repro.statics.quant`, which builds the same chain from
+the protocol's declared schema -- so this module, ``repro verify``, and
+the Prism export all share one solver.  The result is ground-truth
+expected stabilization times (in interactions) that the test suite uses
+to validate both the sequential engine and the exact-jump fast path to
+within Monte-Carlo error -- and exact Table 1 row 1 constants at toy
+sizes.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 State = Tuple[int, ...]
 
@@ -68,14 +72,19 @@ def reachable_states(start: State) -> List[State]:
     return sorted(seen)
 
 
+@lru_cache(maxsize=None)
 def expected_absorption_interactions(start: State) -> float:
     """Exact expected interactions to absorption from ``start``.
 
-    Solves the hitting-time linear system over the reachable transient
-    states with numpy.  Practical for ``n`` up to ~8 (the state count is
-    ``C(2n - 1, n - 1)`` in the worst case).
+    Delegates to the generic chain solver (:mod:`repro.statics.quant`)
+    over the set reachable from ``start``: the count-vector chain above
+    and the schema-built multiset chain are the same object, so the
+    value is bit-for-bit what ``repro verify`` reports.  Practical for
+    ``n`` up to ~8 (the state count is ``C(2n - 1, n - 1)`` in the worst
+    case).
     """
-    import numpy as np
+    from repro.protocols.cai_izumi_wada import SilentNStateSSR
+    from repro.statics.quant import build_chain, hitting_moments
 
     n = sum(start)
     if len(start) != n:
@@ -83,26 +92,10 @@ def expected_absorption_interactions(start: State) -> float:
     if is_absorbing(start):
         return 0.0
 
-    states = reachable_states(start)
-    transient = [s for s in states if not is_absorbing(s)]
-    index: Dict[State, int] = {s: i for i, s in enumerate(transient)}
-    size = len(transient)
-    pairs = n * (n - 1)
-
-    matrix = np.zeros((size, size))
-    constant = np.zeros(size)
-    for state, row in index.items():
-        weight = colliding_weight(state)
-        # Conditioned on an effective event, the chain pays an expected
-        # n(n-1)/W interactions (geometric skip) and moves by weights.
-        matrix[row, row] = 1.0
-        constant[row] = pairs / weight
-        for nxt, move_weight in successors(state):
-            if nxt in index:
-                matrix[row, index[nxt]] -= move_weight / weight
-
-    solution = np.linalg.solve(matrix, constant)
-    return float(solution[index[start]])
+    protocol = SilentNStateSSR(n)
+    states = protocol.counts_to_configuration(start)
+    chain = build_chain(protocol, starts=[states])
+    return hitting_moments(chain).expected_from_states(states)
 
 
 @lru_cache(maxsize=None)

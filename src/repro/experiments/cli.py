@@ -10,6 +10,10 @@ Examples::
     repro lint                      # static verification of all protocols
     repro lint OptimalSilentSSR     # ... of one protocol
     repro lint --audit-states       # + Table 1 state-count audit CSV
+    repro verify                    # exact-chain check of both engines
+    repro verify SluggishRankingSSR # quantitative mutant: exits 1
+    repro synth                     # exact parameter synthesis (all specs)
+    repro synth loose-tmax --grid 1 2 3 4 5
     repro chaos                     # adversarial recovery sweep
     repro chaos --adversary leader --n 64 128 --json chaos.json
     repro chaos --metrics m.json --trace t.jsonl   # + observability
@@ -159,6 +163,91 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the findings report to this file instead of stdout",
     )
+
+    verify_parser = sub.add_parser(
+        "verify",
+        help="quantitative verification: exact Markov-chain expected "
+        "stabilization times vs both simulation engines",
+    )
+    verify_parser.add_argument(
+        "protocols",
+        nargs="*",
+        metavar="protocol",
+        help="verify targets (default: the clean Table 1 protocols; "
+        "mutants addressable explicitly)",
+    )
+    verify_parser.add_argument(
+        "--n", type=int, default=4, help="population size (default: 4)"
+    )
+    verify_parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Monte-Carlo trials per engine (default: 400)",
+    )
+    verify_parser.add_argument(
+        "--seed", type=int, default=None, help="root RNG seed for the trials"
+    )
+    verify_parser.add_argument(
+        "--z",
+        type=float,
+        default=None,
+        metavar="Z",
+        help="confidence-band width in exact standard errors (default: 4)",
+    )
+    verify_parser.add_argument(
+        "--solver",
+        choices=("auto", "scipy", "gauss-seidel"),
+        default="auto",
+        help="linear solver for the exact chain (default: auto)",
+    )
+    verify_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the findings report to this file instead of stdout",
+    )
+    _add_ledger_arguments(verify_parser)
+
+    synth_parser = sub.add_parser(
+        "synth",
+        help="exact parameter synthesis: sweep a protocol parameter, solve "
+        "each chain, emit the optimum plus the objective curve",
+    )
+    synth_parser.add_argument(
+        "specs",
+        nargs="*",
+        metavar="spec",
+        help="synthesis specs to run (default: all registered)",
+    )
+    synth_parser.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        help="population size (default: each spec's own)",
+    )
+    synth_parser.add_argument(
+        "--grid",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="VALUE",
+        help="parameter values to sweep (default: each spec's own grid)",
+    )
+    synth_parser.add_argument(
+        "--solver",
+        choices=("auto", "scipy", "gauss-seidel"),
+        default="auto",
+        help="linear solver for the exact chains (default: auto)",
+    )
+    synth_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the synthesis report to this file instead of stdout",
+    )
+    _add_ledger_arguments(synth_parser)
 
     chaos_parser = sub.add_parser(
         "chaos",
@@ -494,6 +583,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         ))
         return 0
 
+    if args.command == "verify":
+        return _cmd_verify(args)
+
+    if args.command == "synth":
+        return _cmd_synth(args)
+
     if args.command == "bench":
         return _cmd_bench(args)
 
@@ -573,6 +668,79 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         _finish_recorder(args, recorder)
     return 0 if ok else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """``repro verify``: exact-chain oracle over both engines, ledgered."""
+    # Imported lazily: the oracle pulls in the protocol + engine stack.
+    from repro.statics import oracle
+
+    kwargs = {}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.z is not None:
+        kwargs["z"] = args.z
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    code = oracle.main(
+        args.protocols or None,
+        n=args.n,
+        solver=args.solver,
+        output=args.output,
+        **kwargs,
+    )
+    ledger_path = _ledger_path(args)
+    if ledger_path:
+        from repro.obs.ledger import record_invocation
+
+        record_invocation(
+            "verify",
+            path=ledger_path,
+            protocols=args.protocols or None,
+            n=args.n,
+            trials=args.trials,
+            seed=args.seed,
+            z=args.z,
+            solver=args.solver,
+            ok=code == 0,
+            wall_seconds=round(time.perf_counter() - started, 6),
+            cpu_seconds=round(time.process_time() - cpu_started, 6),
+        )
+    return code
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    """``repro synth``: exact parameter synthesis, ledgered."""
+    # Imported lazily: synthesis pulls in the protocol stack.
+    from repro.statics import synth
+
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    code = synth.main(
+        args.specs or None,
+        n=args.n,
+        grid=args.grid,
+        solver=args.solver,
+        output=args.output,
+    )
+    ledger_path = _ledger_path(args)
+    if ledger_path:
+        from repro.obs.ledger import record_invocation
+
+        record_invocation(
+            "synth",
+            path=ledger_path,
+            specs=args.specs or None,
+            n=args.n,
+            grid=args.grid,
+            solver=args.solver,
+            ok=code == 0,
+            wall_seconds=round(time.perf_counter() - started, 6),
+            cpu_seconds=round(time.process_time() - cpu_started, 6),
+        )
+    return code
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:

@@ -1,7 +1,8 @@
 """The run ledger: an append-only JSONL history of every invocation.
 
 One-off numbers cannot show a trend.  The ledger turns each ``repro
-run``, ``repro chaos`` and ``repro bench`` invocation into one durable,
+run``, ``repro chaos``, ``repro bench``, ``repro verify`` and ``repro
+synth`` invocation into one durable,
 schema-versioned JSONL record under ``reports/ledger/``, stamped with
 the provenance triple (schema version, git SHA, wall-clock timestamp)
 plus the run's identity (experiment/protocol, engine, n, seed), its
@@ -46,7 +47,7 @@ LEDGER_SCHEMA_VERSION = 1
 DEFAULT_LEDGER_PATH = os.path.join("reports", "ledger", "ledger.jsonl")
 
 #: Invocation kinds the ledger records.
-ENTRY_KINDS = ("run", "chaos", "bench")
+ENTRY_KINDS = ("run", "chaos", "bench", "verify", "synth")
 
 logger = get_logger("obs.ledger")
 

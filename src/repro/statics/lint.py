@@ -81,7 +81,11 @@ from repro.statics.findings import (
     render_witness_configuration,
 )
 from repro.statics.modelcheck import ModelCheckError, model_check
-from repro.statics.mutants import BrokenRankingSSR, NondeterministicRankingSSR
+from repro.statics.mutants import (
+    BrokenRankingSSR,
+    NondeterministicRankingSSR,
+    SluggishRankingSSR,
+)
 from repro.statics.sanitize import sanitize_protocol
 from repro.statics.schema import has_schema, schema_for
 
@@ -183,7 +187,11 @@ _register(
 )
 
 #: Mutants: addressable explicitly, excluded from the default clean run.
-MUTANT_NAMES = ("BrokenRankingSSR", "NondeterministicRankingSSR")
+MUTANT_NAMES = (
+    "BrokenRankingSSR",
+    "NondeterministicRankingSSR",
+    "SluggishRankingSSR",
+)
 _register(
     LintTarget(
         name="BrokenRankingSSR",
@@ -196,6 +204,16 @@ _register(
     LintTarget(
         name="NondeterministicRankingSSR",
         factory=lambda n: NondeterministicRankingSSR(n),
+        model_check_ns=(2, 3),
+        sanitize_n=3,
+    )
+)
+# The quantitative mutant deliberately passes every qualitative pass here
+# (that is its point); ``repro verify`` is what catches it.
+_register(
+    LintTarget(
+        name="SluggishRankingSSR",
+        factory=lambda n: SluggishRankingSSR(n),
         model_check_ns=(2, 3),
         sanitize_n=3,
     )

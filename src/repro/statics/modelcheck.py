@@ -218,7 +218,8 @@ class StateSpace:
         if total > max_configs:
             raise ModelCheckError(
                 f"{total} configurations exceed the cap {max_configs} "
-                f"(|S|={size}, n={n})"
+                f"(|S|={size}, n={n}); refusing to truncate -- raise "
+                "max_configs or shrink the protocol parameters"
             )
         return list(combinations_with_replacement(range(size), n))
 

@@ -16,6 +16,13 @@ run) can demand a nonzero exit code with a witness:
   seeded replay of the same pair produces a different result (caught by
   the hidden-nondeterminism / determinism rules).  The counter makes
   detection deterministic: no flaky RNG coincidences.
+* :class:`SluggishRankingSSR` -- the *quantitative* mutant: every
+  qualitative rule passes (closed, deterministic, silent, stabilizing
+  with probability 1), but the rank-0 collision rule moves **both**
+  agents, so the exact expected stabilization time differs from the
+  clean protocol (already 2 vs 1 interactions at n=2).  Invisible to
+  ``repro lint``; caught only by ``repro verify``'s exact Markov-chain
+  comparison (:mod:`repro.statics.oracle`).
 
 These classes are exported for tests and for explicit ``repro lint
 BrokenRankingSSR`` runs; the default lint target set deliberately
@@ -29,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.protocols.base import RankingProtocol
+from repro.protocols.cai_izumi_wada import SilentNStateSSR
 from repro.statics.schema import (
     FieldSpec,
     IntRange,
@@ -165,3 +173,31 @@ def _nondeterministic_schema(protocol: NondeterministicRankingSSR) -> StateSchem
         FieldSpec("rank", IntRange(0, protocol.n - 1)),
         build=lambda rank: rank,
     )
+
+
+class SluggishRankingSSR(SilentNStateSSR):
+    """Silent-n-state-SSR whose rank-0 collision moves *both* agents.
+
+    Every qualitative property survives: the state space is still
+    ``0..n-1`` (closure), the transition is still a deterministic
+    function of the pair, correct configurations are still exactly the
+    silent ones, and every configuration still reaches a correct sink
+    with probability 1.  What changes is the *speed*: sending two agents
+    to rank 1 at once creates a fresh collision the clean protocol
+    avoids, so the exact expected stabilization time is strictly larger
+    from collision-bearing starts.  Only a quantitative check -- exact
+    expected hitting times, :mod:`repro.statics.quant` -- tells them
+    apart.
+    """
+
+    def transition(
+        self, initiator: int, responder: int, rng: random.Random
+    ) -> Tuple[int, int]:
+        if initiator == responder:
+            if initiator == 0:
+                #: BUG (seeded): the paper bumps only the responder; moving
+                #: both agents keeps all qualitative invariants but slows
+                #: the chain measurably.
+                return 1 % self.n, 1 % self.n
+            return initiator, (responder + 1) % self.n
+        return initiator, responder
