@@ -80,6 +80,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple, Ty
 
 from repro.core.errors import NotSilentError
 from repro.core.fastpath import _geometric
+from repro.core.fenwick import GrowableFenwick
 from repro.core.protocol import PopulationProtocol, check_population
 from repro.obs.context import current_recorder
 from repro.statics.schema import StateSchema, has_schema, schema_for
@@ -88,92 +89,9 @@ S = TypeVar("S")
 
 __all__ = [
     "CountSimulation",
-    "GrowableFenwick",
+    "GrowableFenwick",  # historical import site; canonical home is core.fenwick
     "count_engine_eligible",
 ]
-
-
-class GrowableFenwick:
-    """Fenwick tree over an append-only sequence of integer weights.
-
-    Same sampling contract as :class:`repro.core.fastpath.FenwickTree`
-    (``rng.randrange(total)`` followed by a bit descent, so two trees
-    holding equal weights consume identical randomness and select the
-    same index), plus ``append`` with amortized O(1) capacity doubling
-    and an O(1) running total.
-    """
-
-    __slots__ = ("_capacity", "_tree", "_weights", "_total")
-
-    def __init__(self) -> None:
-        self._capacity = 16
-        self._tree = [0] * (self._capacity + 1)
-        self._weights: List[int] = []
-        self._total = 0
-
-    def __len__(self) -> int:
-        return len(self._weights)
-
-    def weight(self, index: int) -> int:
-        return self._weights[index]
-
-    def total(self) -> int:
-        return self._total
-
-    def append(self, weight: int) -> None:
-        if len(self._weights) == self._capacity:
-            self._grow()
-        self._weights.append(0)
-        if weight:
-            self.set(len(self._weights) - 1, weight)
-
-    def _grow(self) -> None:
-        self._capacity *= 2
-        tree = [0] * (self._capacity + 1)
-        # Linear-time construction: push each node's sum to its parent.
-        for index, weight in enumerate(self._weights):
-            pos = index + 1
-            tree[pos] += weight
-            parent = pos + (pos & (-pos))
-            if parent <= self._capacity:
-                tree[parent] += tree[pos]
-        self._tree = tree
-
-    def set(self, index: int, weight: int) -> None:
-        if weight < 0:
-            raise ValueError(f"weights must be non-negative, got {weight}")
-        delta = weight - self._weights[index]
-        if delta == 0:
-            return
-        self._weights[index] = weight
-        self._total += delta
-        tree = self._tree
-        i = index + 1
-        capacity = self._capacity
-        while i <= capacity:
-            tree[i] += delta
-            i += i & (-i)
-
-    def add(self, index: int, delta: int) -> None:
-        self.set(index, self._weights[index] + delta)
-
-    def sample(self, rng: random.Random) -> int:
-        """Sample an index with probability proportional to its weight."""
-        total = self._total
-        if total <= 0:
-            raise ValueError("cannot sample from an all-zero tree")
-        target = rng.randrange(total)
-        position = 0
-        remaining = target
-        bit = self._capacity  # power of two, covers every index
-        tree = self._tree
-        while bit > 0:
-            nxt = position + bit
-            if nxt <= self._capacity and tree[nxt] <= remaining:
-                position = nxt
-                remaining -= tree[nxt]
-            bit >>= 1
-        return position
 
 
 class _SpyRandom(random.Random):
@@ -464,12 +382,20 @@ class CountSimulation:
         profile = self._profile
         while self.interactions < deadline:
             if self._mode == "jump":
+                # The geometric fast-forward is profiled as its own stage
+                # (it is *jumping*, not pair sampling), so count-engine
+                # profiles decompose the same way the vector kernel's do.
+                start = time.perf_counter() if profile else 0.0
                 tree = self._pair_tree
                 weight = tree.total()
                 if weight == 0:
                     return  # silent: all remaining interactions are null
                 p = weight / self._ordered_pairs
                 nxt = self.interactions + _geometric(rng, p) + 1
+                if profile:
+                    self._obs.add_stage_time(
+                        "countsim.geometric_jump", time.perf_counter() - start
+                    )
                 if nxt > deadline:
                     # The next effective event falls beyond the budget;
                     # exact by memorylessness of the geometric law.
@@ -485,6 +411,7 @@ class CountSimulation:
                     )
                 self._interact(si, sj)
             elif self._mode == "active":
+                start = time.perf_counter() if profile else 0.0
                 active = self._active_tree.total()
                 if active == 0:
                     return  # silent: only passive-passive pairs remain
@@ -495,6 +422,10 @@ class CountSimulation:
                     nxt = self.interactions + _geometric(rng, p) + 1
                 else:
                     nxt = self.interactions + 1
+                if profile:
+                    self._obs.add_stage_time(
+                        "countsim.geometric_jump", time.perf_counter() - start
+                    )
                 if nxt > deadline:
                     self.interactions = deadline
                     return

@@ -21,7 +21,8 @@ for, so interaction counts (and hence parallel times) have exactly the
 same distribution as the sequential engine's -- validated against the
 generic engine in the test suite.
 
-A Fenwick (binary indexed) tree keeps the weighted rank choice at
+A Fenwick (binary indexed) tree (now shared with the count engine via
+:mod:`repro.core.fenwick`) keeps the weighted rank choice at
 ``O(log n)`` per event, giving roughly ``O(E log n)`` total work for
 ``E`` effective events instead of ``Theta(n^3)`` scheduler draws.
 """
@@ -32,71 +33,14 @@ import math
 import random
 from typing import List, Optional, Sequence
 
+from repro.core.fenwick import FenwickTree
 
-class FenwickTree:
-    """Fenwick tree over non-negative integer weights with sampling.
-
-    Supports point update, total weight, and "find the smallest index
-    whose prefix sum exceeds a target" -- the primitive needed to sample
-    an index proportionally to its weight in O(log n).
-    """
-
-    def __init__(self, size: int):
-        if size < 1:
-            raise ValueError(f"size must be >= 1, got {size}")
-        self.size = size
-        self._tree = [0] * (size + 1)
-        self._weights = [0] * size
-
-    def weight(self, index: int) -> int:
-        """Current weight at ``index``."""
-        return self._weights[index]
-
-    def set(self, index: int, weight: int) -> None:
-        """Set the weight at ``index``."""
-        if weight < 0:
-            raise ValueError(f"weights must be non-negative, got {weight}")
-        delta = weight - self._weights[index]
-        if delta == 0:
-            return
-        self._weights[index] = weight
-        tree = self._tree
-        i = index + 1
-        while i <= self.size:
-            tree[i] += delta
-            i += i & (-i)
-
-    def total(self) -> int:
-        """Sum of all weights."""
-        return self._prefix(self.size)
-
-    def _prefix(self, count: int) -> int:
-        total = 0
-        tree = self._tree
-        i = count
-        while i > 0:
-            total += tree[i]
-            i -= i & (-i)
-        return total
-
-    def sample(self, rng: random.Random) -> int:
-        """Sample an index with probability proportional to its weight."""
-        total = self.total()
-        if total <= 0:
-            raise ValueError("cannot sample from an all-zero tree")
-        target = rng.randrange(total)  # uniform in [0, total)
-        # Find smallest index with prefix_sum(index + 1) > target.
-        position = 0
-        remaining = target
-        bit = 1 << (self.size.bit_length())
-        tree = self._tree
-        while bit > 0:
-            nxt = position + bit
-            if nxt <= self.size and tree[nxt] <= remaining:
-                position = nxt
-                remaining -= tree[nxt]
-            bit >>= 1
-        return position  # 0-based index
+__all__ = [
+    "CiwJumpSimulator",
+    "FenwickTree",  # historical import site; canonical home is core.fenwick
+    "uniform_random_ciw_counts",
+    "worst_case_ciw_counts",
+]
 
 
 def _geometric(rng: random.Random, p: float) -> int:

@@ -39,6 +39,7 @@ from repro.core.chaos import (
 )
 from repro.core.configuration import is_silent
 from repro.core.countsim import CountSimulation, count_engine_eligible
+from repro.core.kernel import select_count_engine
 from repro.core.scheduler import Scheduler
 from repro.core.simulation import Simulation
 from repro.obs.context import current_recorder
@@ -48,7 +49,7 @@ from repro.protocols.base import RankingProtocol
 S = TypeVar("S")
 
 #: Engines ``measure_recovery`` can drive.
-ENGINES = ("auto", "generic", "count")
+ENGINES = ("auto", "generic", "count", "vector")
 
 
 @dataclass(frozen=True)
@@ -218,13 +219,15 @@ class _CountRecoveryEngine:
         rng: random.Random,
         certify_silence: bool,
         recorder: Optional[Any] = None,
+        engine: str = "count",
     ):
         mode = (
             "active"
             if protocol.silent and getattr(protocol, "silent_class", None)
             else "auto"
         )
-        self.sim: CountSimulation = CountSimulation(
+        engine_cls = select_count_engine(engine)
+        self.sim: CountSimulation = engine_cls(
             protocol,
             list(initial_states) if initial_states is not None else None,
             rng=rng,
@@ -282,11 +285,13 @@ def measure_recovery(
     Parameters beyond the originals
     -------------------------------
     engine:
-        ``"generic"``, ``"count"``, or ``"auto"`` (default): pick the
-        count engine when the protocol is silent, schema-eligible and
-        no custom ``scheduler`` is involved.  The count engine also
-        fast-forwards silent dwell between strikes, so long quiet
-        periods cost O(1).
+        ``"generic"``, ``"count"``, ``"vector"``, or ``"auto"``
+        (default): pick the count engine when the protocol is silent,
+        schema-eligible and no custom ``scheduler`` is involved.  The
+        count engine also fast-forwards silent dwell between strikes,
+        so long quiet periods cost O(1).  ``"vector"`` drives the
+        batched numpy kernel (same fault surface, inherited from the
+        count engine), falling back to ``"count"`` without numpy.
     adversary:
         ``None`` (the uniform random-state adversary), a registered
         name (see :func:`repro.core.chaos.adversary_names`), or an
@@ -325,16 +330,16 @@ def measure_recovery(
     elif isinstance(adversary, str):
         adversary = make_adversary(adversary)
 
-    if engine == "count" and scheduler is not None:
+    if engine in ("count", "vector") and scheduler is not None:
         raise ValueError(
             "scheduler faults act on agent indices; use engine='generic'"
         )
-    if engine == "count" and not count_engine_eligible(protocol):
+    if engine in ("count", "vector") and not count_engine_eligible(protocol):
         raise ValueError(
             f"{type(protocol).__name__} is not count-engine eligible "
             "(needs a registered lossless state schema)"
         )
-    use_count = engine == "count" or (
+    use_count = engine in ("count", "vector") or (
         engine == "auto"
         and scheduler is None
         and protocol.silent
@@ -348,7 +353,12 @@ def measure_recovery(
     eng: Union[_GenericRecoveryEngine, _CountRecoveryEngine]
     if use_count:
         eng = _CountRecoveryEngine(
-            protocol, initial_states, rng, certify_silence, recorder=obs
+            protocol,
+            initial_states,
+            rng,
+            certify_silence,
+            recorder=obs,
+            engine="vector" if engine == "vector" else "count",
         )
     else:
         eng = _GenericRecoveryEngine(

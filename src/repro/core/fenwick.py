@@ -1,0 +1,169 @@
+"""Shared Fenwick (binary indexed) trees with weighted sampling.
+
+Both simulation fast paths need the same primitive: a non-negative
+integer weight per index, point updates in O(log n), and "sample an
+index with probability proportional to its weight" via one
+``rng.randrange(total)`` draw followed by a bit descent.  The two
+implementations grew up separately (:mod:`repro.core.fastpath` held the
+fixed-size tree, :mod:`repro.core.countsim` the growable one); this
+module is their single home.  Both classes keep the exact sampling
+contract -- equal weights mean identical RNG consumption and identical
+selected indices, which is what the cross-engine bit-exactness tests
+rely on -- and both old import sites re-export them unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = ["FenwickTree", "GrowableFenwick"]
+
+
+class FenwickTree:
+    """Fenwick tree over non-negative integer weights with sampling.
+
+    Supports point update, total weight, and "find the smallest index
+    whose prefix sum exceeds a target" -- the primitive needed to sample
+    an index proportionally to its weight in O(log n).
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+        self._tree = [0] * (size + 1)
+        self._weights = [0] * size
+
+    def weight(self, index: int) -> int:
+        """Current weight at ``index``."""
+        return self._weights[index]
+
+    def set(self, index: int, weight: int) -> None:
+        """Set the weight at ``index``."""
+        if weight < 0:
+            raise ValueError(f"weights must be non-negative, got {weight}")
+        delta = weight - self._weights[index]
+        if delta == 0:
+            return
+        self._weights[index] = weight
+        tree = self._tree
+        i = index + 1
+        while i <= self.size:
+            tree[i] += delta
+            i += i & (-i)
+
+    def total(self) -> int:
+        """Sum of all weights."""
+        return self._prefix(self.size)
+
+    def _prefix(self, count: int) -> int:
+        total = 0
+        tree = self._tree
+        i = count
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def sample(self, rng: random.Random) -> int:
+        """Sample an index with probability proportional to its weight."""
+        total = self.total()
+        if total <= 0:
+            raise ValueError("cannot sample from an all-zero tree")
+        target = rng.randrange(total)  # uniform in [0, total)
+        # Find smallest index with prefix_sum(index + 1) > target.
+        position = 0
+        remaining = target
+        bit = 1 << (self.size.bit_length())
+        tree = self._tree
+        while bit > 0:
+            nxt = position + bit
+            if nxt <= self.size and tree[nxt] <= remaining:
+                position = nxt
+                remaining -= tree[nxt]
+            bit >>= 1
+        return position  # 0-based index
+
+
+class GrowableFenwick:
+    """Fenwick tree over an append-only sequence of integer weights.
+
+    Same sampling contract as :class:`FenwickTree` (``rng.randrange``
+    followed by a bit descent, so two trees holding equal weights
+    consume identical randomness and select the same index), plus
+    ``append`` with amortized O(1) capacity doubling and an O(1)
+    running total.
+    """
+
+    __slots__ = ("_capacity", "_tree", "_weights", "_total")
+
+    def __init__(self) -> None:
+        self._capacity = 16
+        self._tree = [0] * (self._capacity + 1)
+        self._weights: List[int] = []
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def weight(self, index: int) -> int:
+        return self._weights[index]
+
+    def total(self) -> int:
+        return self._total
+
+    def append(self, weight: int) -> None:
+        if len(self._weights) == self._capacity:
+            self._grow()
+        self._weights.append(0)
+        if weight:
+            self.set(len(self._weights) - 1, weight)
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        tree = [0] * (self._capacity + 1)
+        # Linear-time construction: push each node's sum to its parent.
+        for index, weight in enumerate(self._weights):
+            pos = index + 1
+            tree[pos] += weight
+            parent = pos + (pos & (-pos))
+            if parent <= self._capacity:
+                tree[parent] += tree[pos]
+        self._tree = tree
+
+    def set(self, index: int, weight: int) -> None:
+        if weight < 0:
+            raise ValueError(f"weights must be non-negative, got {weight}")
+        delta = weight - self._weights[index]
+        if delta == 0:
+            return
+        self._weights[index] = weight
+        self._total += delta
+        tree = self._tree
+        i = index + 1
+        capacity = self._capacity
+        while i <= capacity:
+            tree[i] += delta
+            i += i & (-i)
+
+    def add(self, index: int, delta: int) -> None:
+        self.set(index, self._weights[index] + delta)
+
+    def sample(self, rng: random.Random) -> int:
+        """Sample an index with probability proportional to its weight."""
+        total = self._total
+        if total <= 0:
+            raise ValueError("cannot sample from an all-zero tree")
+        target = rng.randrange(total)
+        position = 0
+        remaining = target
+        bit = self._capacity  # power of two, covers every index
+        tree = self._tree
+        while bit > 0:
+            nxt = position + bit
+            if nxt <= self._capacity and tree[nxt] <= remaining:
+                position = nxt
+                remaining -= tree[nxt]
+            bit >>= 1
+        return position

@@ -121,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(experiments that support it; results are bit-identical)",
     )
     run_parser.add_argument(
+        "--engine",
+        choices=("auto", "generic", "count", "vector"),
+        default=None,
+        help="simulation engine for experiments that support selection "
+        "(e.g. table1, frontier); 'vector' is the batched numpy kernel "
+        "and falls back to 'count' without numpy",
+    )
+    run_parser.add_argument(
         "-o",
         "--output",
         default=None,
@@ -311,9 +319,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_parser.add_argument(
         "--engine",
-        choices=("auto", "generic", "count"),
+        choices=("auto", "generic", "count", "vector"),
         default="auto",
-        help="simulation engine (default: auto)",
+        help="simulation engine (default: auto; 'vector' is the batched "
+        "numpy kernel, falling back to 'count' without numpy)",
     )
     chaos_parser.add_argument(
         "--recovery-budget",
@@ -502,13 +511,16 @@ def _run_one(
     workers: Optional[int] = None,
     ledger_path: Optional[str] = None,
     recorder: Optional[Any] = None,
+    engine: Optional[str] = None,
 ) -> bool:
     # perf_counter, not time.time: elapsed is a duration, and time.time
     # can step backwards under clock adjustment (wall-clock timestamps
     # live in results.build_manifest and the ledger's provenance stamp).
     started = time.perf_counter()
     cpu_started = time.process_time()
-    report = run_experiment(experiment_id, seed=seed, quick=quick, workers=workers)
+    report = run_experiment(
+        experiment_id, seed=seed, quick=quick, workers=workers, engine=engine
+    )
     elapsed = time.perf_counter() - started
     if ledger_path:
         from repro.obs.ledger import record_invocation
@@ -521,6 +533,7 @@ def _run_one(
             seed=seed,
             quick=quick,
             workers=workers,
+            engine=engine,
             all_passed=report.all_passed,
             wall_seconds=round(elapsed, 6),
             cpu_seconds=round(time.process_time() - cpu_started, 6),
@@ -649,12 +662,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if result.all_recovered else 1
 
     targets = all_experiments() if args.experiment == "all" else [args.experiment]
+    if args.engine is not None and args.experiment == "all":
+        # Most experiments pick their engine themselves; a blanket
+        # override across the registry would be a silent no-op for them.
+        print("run: --engine applies to a single experiment, not 'all'",
+              file=sys.stderr)
+        return 2
     ok = True
     with ExitStack() as stack:
         recorder = _install_recorder(args, stack)
         for experiment_id in targets:
-            ok = (
-                _run_one(
+            try:
+                one = _run_one(
                     experiment_id,
                     args.seed,
                     args.quick,
@@ -663,9 +682,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                     args.workers,
                     _ledger_path(args),
                     recorder,
+                    args.engine,
                 )
-                and ok
-            )
+            except ValueError as exc:
+                if args.engine is None:
+                    raise  # not an engine-selection problem; surface it
+                print(f"run: {exc}", file=sys.stderr)
+                return 2
+            ok = one and ok
         _finish_recorder(args, recorder)
     return 0 if ok else 1
 

@@ -24,6 +24,7 @@ _EXPERIMENT_MODULES: Dict[str, str] = {
     "faults": "repro.experiments.faults",
     "ablation": "repro.experiments.ablation",
     "loose": "repro.experiments.loose",
+    "frontier": "repro.experiments.frontier",
 }
 
 
@@ -48,17 +49,29 @@ def run_experiment(
     seed: int,
     quick: bool = False,
     workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ):
-    """Run one experiment, forwarding ``workers`` where supported.
+    """Run one experiment, forwarding ``workers``/``engine`` where supported.
 
     Experiment runners opt into trial-level parallelism by accepting a
-    ``workers`` keyword (e.g. Table 1); runners without it are called
-    with ``(seed, quick)`` only, so a global ``--workers`` flag stays
-    safe across the whole registry.
+    ``workers`` keyword (e.g. Table 1), and into engine selection by
+    accepting an ``engine`` keyword (e.g. Table 1, frontier); runners
+    without them are called with ``(seed, quick)`` only, so the global
+    ``--workers`` / ``--engine`` flags stay safe across the registry.
+    An explicit ``engine`` for an experiment that cannot honor it is an
+    error rather than a silent default.
     """
     run = get_experiment(experiment_id)
+    params = signature(run).parameters
     kwargs = {}
     if workers and workers > 1:
-        if "workers" in signature(run).parameters:
+        if "workers" in params:
             kwargs["workers"] = workers
+    if engine is not None:
+        if "engine" not in params:
+            raise ValueError(
+                f"experiment {experiment_id!r} does not support engine "
+                "selection; drop --engine"
+            )
+        kwargs["engine"] = engine
     return run(seed=seed, quick=quick, **kwargs)

@@ -32,8 +32,8 @@ from repro.analysis.statecount import (
     sublinear_state_log2_estimate,
 )
 from repro.analysis.stats import TrialSummary, summarize_trials
-from repro.core.countsim import CountSimulation
 from repro.core.fastpath import worst_case_ciw_counts
+from repro.core.kernel import select_count_engine
 from repro.core.parallel import ParallelTrialRunner
 from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import (
@@ -48,25 +48,35 @@ EXPERIMENT_ID = "table1"
 TITLE = "Table 1 -- SSR protocol time/space complexities (measured)"
 
 
-def _ciw_trial(n: int, rng: random.Random) -> float:
+def _ciw_trial(n: int, engine: str, rng: random.Random) -> float:
     """One CIW stabilization measurement from the worst-case start.
 
-    Runs the generic count-based engine in jump mode.  From a worst-case
-    start its trajectory is interaction-for-interaction identical to the
-    historical :class:`repro.core.fastpath.CiwJumpSimulator` for the same
-    seed (both draw one geometric and one Fenwick sample per effective
+    Runs a count-based engine in jump mode.  From a worst-case start
+    the count engine's trajectory is interaction-for-interaction
+    identical to the historical
+    :class:`repro.core.fastpath.CiwJumpSimulator` for the same seed
+    (both draw one geometric and one Fenwick sample per effective
     event, over identical weight tables) -- enforced by the equivalence
-    tests, so this engine swap changed no reported Table 1 value.
+    tests, so this engine swap changed no reported Table 1 value.  The
+    vector kernel (``engine="vector"``) keeps the identical trajectory
+    here too (jump mode is scalar; only pair *classification* is
+    pruned, preserving registration order), which is what lets the
+    frontier experiment extend this row to n >= 10^7.
     """
     protocol = SilentNStateSSR(n)
     states = protocol.counts_to_configuration(worst_case_ciw_counts(n))
-    sim = CountSimulation(protocol, states, rng=rng, mode="jump")
+    engine_cls = select_count_engine(engine)
+    sim = engine_cls(protocol, states, rng=rng, mode="jump")
     sim.run_until_silent()
     return sim.parallel_time
 
 
 def _ciw_times(
-    ns: Sequence[int], trials: int, seed: int, runner: ParallelTrialRunner
+    ns: Sequence[int],
+    trials: int,
+    seed: int,
+    runner: ParallelTrialRunner,
+    engine: str = "count",
 ) -> Dict[int, TrialSummary]:
     """Silent-n-state-SSR stabilization times from the worst-case start.
 
@@ -77,7 +87,10 @@ def _ciw_times(
     results: Dict[int, TrialSummary] = {}
     for n in ns:
         times = runner.map_trials(
-            partial(_ciw_trial, n), seed=seed, labels=("ciw", n), trials=trials
+            partial(_ciw_trial, n, engine),
+            seed=seed,
+            labels=("ciw", n),
+            trials=trials,
         )
         results[n] = summarize_trials(times)
     return results
@@ -166,15 +179,26 @@ def _add_rows(
 
 
 def run(
-    seed: int = DEFAULT_SEED, quick: bool = False, workers: Optional[int] = None
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    workers: Optional[int] = None,
+    engine: str = "count",
 ) -> ExperimentReport:
     """Regenerate Table 1.  ``quick`` shrinks sizes/trials for CI use.
 
     ``workers`` > 1 fans the independent trials of each row out over a
     process pool; results are bit-identical to the serial run (per-trial
     RNG streams are derived inside the workers from the same label
-    paths).
+    paths).  ``engine`` selects the count representation for the CIW
+    row: ``"count"`` (default, the historical engine) or ``"vector"``
+    (the batched kernel -- same per-seed trajectories on this row, so
+    the reported values are unchanged; see
+    :mod:`repro.experiments.frontier` for the sizes that *need* it).
     """
+    if engine not in ("count", "vector"):
+        raise ValueError(
+            f"engine must be 'count' or 'vector' for table1, got {engine!r}"
+        )
     runner = ParallelTrialRunner(workers)
     if quick:
         ciw_ns, ciw_trials = [16, 32, 64], 5
@@ -201,7 +225,7 @@ def run(
         ],
     )
 
-    ciw = _ciw_times(ciw_ns, ciw_trials, seed, runner)
+    ciw = _ciw_times(ciw_ns, ciw_trials, seed, runner, engine=engine)
     osr = _optimal_silent_times(os_ns, os_trials, seed, runner)
     sub = _sublinear_times(sub_ns, sub_trials, seed, runner)
 

@@ -281,13 +281,16 @@ class TestHittingDistribution:
 class TestOracle:
     """The sharp cross-validation: engines vs exact bands at n=4."""
 
-    def test_both_engines_within_band(self):
+    def test_all_engines_within_band(self):
         from repro.statics.oracle import verify_target
 
         report = verify_target("SilentNStateSSR", n=4, trials=300)
         assert report.ok, [f.message for f in report.findings]
         engines = {estimate.engine for estimate in report.estimates}
-        assert engines == {"generic", "count"}
+        # The vector kernel earns its own Monte-Carlo band (independent
+        # scheduling draws); without numpy it falls back to the count
+        # engine and still must land inside the band.
+        assert engines == {"generic", "count", "vector"}
         for estimate in report.estimates:
             assert estimate.within_band
         # Acceptance: the verify exact value is bit-for-bit the
