@@ -22,16 +22,28 @@ The runner distinguishes three failure classes:
 * **Pool infrastructure errors** -- a worker crashed (OOM-kill,
   ``BrokenProcessPool``) or the platform cannot start processes.
   Trials are pure, so the runner retries *only the missing trials* on
-  a fresh pool (``pool_retries`` rounds), then falls back to running
-  the stragglers serially.
+  a fresh pool (``pool_retries`` rounds, exponential backoff with
+  jitter between rounds), then falls back to running the stragglers
+  serially -- or, with ``serial_fallback=False``, raises
+  :class:`PoolExhaustedError` carrying the missing trial indices so a
+  supervising layer (the job service) can apply its own retry policy.
 * **Timeouts** -- with ``timeout=`` set, a trial exceeding its budget
   raises :class:`TrialTimeoutError` (a task error: something in the
   trial hung).
 
 With ``checkpoint=`` set, every finished trial is appended to an
-on-disk journal keyed by ``(seed, labels)``; a re-run with the same
-arguments loads finished trials and computes only the rest, so a killed
-long experiment loses nothing.
+on-disk journal keyed by ``(seed, labels, git_sha)``; a re-run with the
+same arguments loads finished trials and computes only the rest, so a
+killed long experiment loses nothing.  The git SHA is part of the key
+on purpose: a checkpoint written by a *different source tree* must be
+ignored, not silently reused -- the code that produced those trials is
+not the code resuming them.  Checkpointed runs also install a
+SIGTERM/SIGINT scope (main thread only) that, on delivery, drains
+already-completed in-flight trials into the journal before re-raising,
+so a polite kill wastes no finished work.  Journal appends that hit a
+failing disk (ENOSPC, EIO) degrade to a one-time warning per path and
+the run continues on its in-memory results -- checkpointing observes a
+run, it never kills one.
 
 Tasks must be picklable (module-level functions, optionally wrapped in
 :func:`functools.partial`); if a task is not picklable the runner
@@ -61,18 +73,22 @@ import pickle
 import random
 import time
 import traceback
+from contextlib import contextmanager
 from typing import (
     Any,
     Callable,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
 from repro.core.rng import Label, make_rng
+from repro.obs import provenance
 from repro.obs.context import current_recorder
 from repro.obs.log import get_logger
 
@@ -84,6 +100,7 @@ TrialTask = Callable[[random.Random], Any]
 
 __all__ = [
     "ParallelTrialRunner",
+    "PoolExhaustedError",
     "TrialTaskError",
     "TrialTimeoutError",
 ]
@@ -96,6 +113,36 @@ class TrialTaskError(RuntimeError):
         super().__init__(f"trial {index} failed: {message}")
         self.index = index
         self.remote_traceback = remote_traceback
+
+
+class PoolExhaustedError(RuntimeError):
+    """Every pool round broke and serial fallback is disabled.
+
+    Carries the indices of the trials that never completed, so a
+    supervising retry layer (e.g. the job service) can resubmit exactly
+    the missing work -- completed trials are already journaled.
+    """
+
+    def __init__(self, missing: Sequence[int], rounds: int):
+        super().__init__(
+            f"worker pool broke {rounds} time(s); "
+            f"{len(missing)} trial(s) never completed: "
+            f"{list(missing)[:16]}{'...' if len(missing) > 16 else ''}"
+        )
+        self.missing = tuple(missing)
+        self.rounds = rounds
+
+
+class _SignalDrain(BaseException):
+    """Internal: SIGTERM/SIGINT arrived inside a checkpointed run.
+
+    A ``BaseException`` so it sails past the task-error handlers --
+    draining is the runner's business, not the trial's.
+    """
+
+    def __init__(self, signum: int):
+        super().__init__(f"signal {signum}")
+        self.signum = signum
 
 
 class TrialTimeoutError(TrialTaskError):
@@ -271,7 +318,19 @@ class ParallelTrialRunner:
     pool_retries:
         How many times a *pool-level* failure (broken worker, failed
         spawn) is retried with a fresh pool before the missing trials
-        run serially.  Completed trials are never recomputed.
+        run serially.  Completed trials are never recomputed.  Retry
+        rounds are separated by exponential backoff with jitter
+        (``pool_backoff`` base seconds) so a struggling machine gets
+        room to recover instead of being hammered.
+    pool_backoff:
+        Base of the exponential backoff between pool retry rounds, in
+        seconds; round ``k`` sleeps ``pool_backoff * 2**k`` scaled by a
+        uniform jitter in [0.5, 1.5).  ``0`` disables the sleep.
+    serial_fallback:
+        Whether exhausting ``pool_retries`` falls back to running the
+        missing trials serially (the default).  ``False`` raises
+        :class:`PoolExhaustedError` carrying the missing indices
+        instead -- what a supervising retry layer wants.
     checkpoint:
         Optional path to an on-disk trial journal.  Finished trials are
         appended as they complete; a later call with the same ``seed``
@@ -290,7 +349,9 @@ class ParallelTrialRunner:
         workers: Optional[int] = None,
         *,
         timeout: Optional[float] = None,
-        pool_retries: int = 1,
+        pool_retries: int = 2,
+        pool_backoff: float = 0.25,
+        serial_fallback: bool = True,
         checkpoint: Optional[str] = None,
         recorder: Optional[Any] = None,
     ):
@@ -300,13 +361,18 @@ class ParallelTrialRunner:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if pool_retries < 0:
             raise ValueError(f"pool_retries must be >= 0, got {pool_retries}")
+        if pool_backoff < 0:
+            raise ValueError(f"pool_backoff must be >= 0, got {pool_backoff}")
         self.workers = workers or 1
         self.timeout = timeout
         self.pool_retries = pool_retries
+        self.pool_backoff = pool_backoff
+        self.serial_fallback = serial_fallback
         self.checkpoint = checkpoint
         self.recorder = recorder
         self._obs: Optional[Any] = None  # resolved per map_trials call
         self._shard_spec: Optional[_ShardSpec] = None  # ditto
+        self._run_key: Optional[_RunKey] = None  # ditto
 
     @property
     def parallel(self) -> bool:
@@ -330,7 +396,10 @@ class ParallelTrialRunner:
         if isinstance(labels, (str, int)):
             labels = (labels,)
         label_path: Tuple[Label, ...] = tuple(labels)
-        run_key = (seed, label_path)
+        # The git SHA completes the provenance triple: trials journaled
+        # by one source tree must not satisfy a resume from another.
+        run_key: _RunKey = (seed, label_path, provenance.git_sha())
+        self._run_key = run_key
         self._obs = self.recorder if self.recorder is not None else current_recorder()
         trace = getattr(self._obs, "trace", None)
         self._shard_spec = (
@@ -354,14 +423,66 @@ class ParallelTrialRunner:
             pooled = (
                 self.workers > 1 and len(pending) > 1 and _picklable(task)
             )
-            if pooled:
-                fresh = self._map_pooled(task, seed, label_path, pending)
-            else:
-                fresh = self._map_serial(task, seed, label_path, pending)
+            with self._graceful_signal_scope():
+                if pooled:
+                    fresh = self._map_pooled(task, seed, label_path, pending)
+                else:
+                    fresh = self._map_serial(task, seed, label_path, pending)
             done.update(fresh)
             if self._shard_spec is not None:
                 self._merge_shards(pending)
         return [done[index] for index in range(trials)]
+
+    @contextmanager
+    def _graceful_signal_scope(self) -> Iterator[None]:
+        """Drain-then-re-raise handling for SIGTERM/SIGINT.
+
+        Installed only for checkpointed runs on the main thread (signal
+        handlers cannot be installed elsewhere, and without a journal
+        there is nothing to save).  On delivery the handler raises
+        :class:`_SignalDrain`, which unwinds through the pooled harvest
+        loop -- whose ``except`` clause journals every future that had
+        already completed -- and is converted here to the conventional
+        exception for the signal: ``KeyboardInterrupt`` for SIGINT,
+        ``SystemExit(128 + signum)`` for SIGTERM.  Serial trials need no
+        drain: each one is journaled the moment it finishes.
+        """
+        if not self.checkpoint:
+            yield
+            return
+        import signal
+        import threading
+
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+        previous: Dict[int, Any] = {}
+
+        def _handler(signum: int, frame: Any) -> None:
+            raise _SignalDrain(signum)
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, _handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic platform
+                continue
+        try:
+            yield
+        except _SignalDrain as drain:
+            _LOG.warning(
+                "signal %d: drained in-flight trials to %s; re-raising",
+                drain.signum,
+                self.checkpoint,
+            )
+            if drain.signum == signal.SIGINT:
+                raise KeyboardInterrupt() from None
+            raise SystemExit(128 + drain.signum) from None
+        finally:
+            for sig, handler in previous.items():
+                try:
+                    signal.signal(sig, handler)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
 
     def _merge_shards(self, indices: Sequence[int]) -> None:
         """Fold per-trial shards into the parent trace, in trial order.
@@ -395,7 +516,7 @@ class ParallelTrialRunner:
         pending: Sequence[int],
     ) -> Dict[int, Any]:
         results: Dict[int, Any] = {}
-        run_key = (seed, labels)
+        run_key = self._run_key or (seed, labels, provenance.git_sha())
         obs = self._obs
         spec = self._shard_spec
         profiling = obs is not None and getattr(obs, "profile", False)
@@ -447,7 +568,7 @@ class ParallelTrialRunner:
         results: Dict[int, Any] = {}
         missing = list(pending)
         attempts = self.pool_retries + 1
-        for _ in range(attempts):
+        for round_index in range(attempts):
             if not missing:
                 return results
             try:
@@ -456,18 +577,43 @@ class ParallelTrialRunner:
                 # A worker died or the pool could not start: completed
                 # trials are kept, only the stragglers go another round.
                 missing = [index for index in missing if index not in results]
+                backoff = self._retry_backoff(round_index)
                 _LOG.warning(
-                    "worker pool broke; retrying %d missing trial(s)", len(missing)
+                    "worker pool broke (round %d/%d); retrying %d missing "
+                    "trial(s) after %.2fs backoff",
+                    round_index + 1,
+                    attempts,
+                    len(missing),
+                    backoff,
                 )
                 if self._obs is not None:
-                    self._obs.event("worker-retry", missing=len(missing))
+                    self._obs.event(
+                        "worker-retry",
+                        missing=len(missing),
+                        round=round_index + 1,
+                        backoff_seconds=round(backoff, 3),
+                    )
+                if backoff > 0 and round_index + 1 < attempts:
+                    time.sleep(backoff)
                 continue
             return results
+        missing = [index for index in missing if index not in results]
+        if not self.serial_fallback:
+            raise PoolExhaustedError(missing, rounds=attempts)
         # Pool keeps breaking (or never started): trials are pure, so
         # finish the missing ones serially.
-        missing = [index for index in missing if index not in results]
         results.update(self._map_serial(task, seed, labels, missing))
         return results
+
+    def _retry_backoff(self, round_index: int) -> float:
+        """Exponential backoff with jitter before pool retry ``round_index+1``.
+
+        Jitter draws from the module RNG, never from any trial's derived
+        stream -- backoff timing must not perturb reproducibility.
+        """
+        if self.pool_backoff <= 0:
+            return 0.0
+        return self.pool_backoff * (2.0 ** round_index) * (0.5 + random.random())
 
     def _run_pool_round(
         self,
@@ -486,7 +632,7 @@ class ParallelTrialRunner:
         """
         import concurrent.futures as cf
 
-        run_key = (seed, labels)
+        run_key = self._run_key or (seed, labels, provenance.git_sha())
         obs = self._obs
         spec = self._shard_spec
         profiling = obs is not None and getattr(obs, "profile", False)
@@ -513,35 +659,69 @@ class ParallelTrialRunner:
                     }
             except cf.BrokenExecutor as exc:
                 raise _PoolBroken() from exc
-            for index, future in futures.items():
-                try:
-                    value = future.result(timeout=self.timeout)
-                except cf.TimeoutError:
-                    # Checked before the pool-error clause: the builtin
-                    # TimeoutError subclasses OSError on modern Pythons.
-                    raise TrialTimeoutError(index, self.timeout or 0.0) from None
-                except (cf.BrokenExecutor, OSError) as exc:
-                    raise _PoolBroken() from exc
-                if isinstance(value, _TrialFailure):
-                    raise TrialTaskError(
-                        index,
-                        f"{value.kind}: {value.message}",
-                        value.remote_traceback,
-                    )
-                if isinstance(value, _TrialTiming):
-                    obs.event(
-                        "trial",
-                        index=index,
-                        wall_seconds=value.wall_seconds,
-                        cpu_seconds=value.cpu_seconds,
-                        pooled=True,
-                    )
-                    value = value.value
-                results[index] = value
-                if self.checkpoint:
-                    self._checkpoint_write(run_key, index, value)
+            try:
+                for index, future in futures.items():
+                    try:
+                        value = future.result(timeout=self.timeout)
+                    except cf.TimeoutError:
+                        # Checked before the pool-error clause: the builtin
+                        # TimeoutError subclasses OSError on modern Pythons.
+                        raise TrialTimeoutError(index, self.timeout or 0.0) from None
+                    except (cf.BrokenExecutor, OSError) as exc:
+                        raise _PoolBroken() from exc
+                    if isinstance(value, _TrialFailure):
+                        raise TrialTaskError(
+                            index,
+                            f"{value.kind}: {value.message}",
+                            value.remote_traceback,
+                        )
+                    if isinstance(value, _TrialTiming):
+                        obs.event(
+                            "trial",
+                            index=index,
+                            wall_seconds=value.wall_seconds,
+                            cpu_seconds=value.cpu_seconds,
+                            pooled=True,
+                        )
+                        value = value.value
+                    results[index] = value
+                    if self.checkpoint:
+                        self._checkpoint_write(run_key, index, value)
+            except _SignalDrain:
+                self._drain_completed(futures, results, run_key)
+                raise
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+
+    def _drain_completed(
+        self,
+        futures: Dict[int, Any],
+        results: Dict[int, Any],
+        run_key: "_RunKey",
+    ) -> None:
+        """Journal every already-finished future before the signal wins.
+
+        The harvest loop walks futures in index order, so a completed
+        trial with a higher index than the one being waited on has a
+        result nobody journaled yet.  A polite kill (SIGTERM) must not
+        waste that work: everything ``done()`` is harvested into
+        ``results`` and the checkpoint journal; running and queued
+        trials are left to the pool shutdown's ``cancel_futures``.
+        """
+        for index, future in futures.items():
+            if index in results or not future.done() or future.cancelled():
+                continue
+            try:
+                value = future.result(timeout=0)
+            except Exception:
+                continue  # broken/failed future: nothing worth saving
+            if isinstance(value, (_TrialFailure,)):
+                continue
+            if isinstance(value, _TrialTiming):
+                value = value.value
+            results[index] = value
+            if self.checkpoint:
+                self._checkpoint_write(run_key, index, value)
 
 
 class _PoolBroken(Exception):
@@ -552,7 +732,15 @@ class _PoolBroken(Exception):
 # Checkpoint journal: an append-only pickle stream
 # ---------------------------------------------------------------------------
 
-_RunKey = Tuple[int, Tuple[Label, ...]]
+#: ``(seed, labels, git_sha)`` -- the provenance triple naming one run's
+#: trials.  Tests may pass shorter tuples; keys are compared opaquely,
+#: so a mismatched shape simply never matches (and is ignored), which is
+#: exactly the stale-checkpoint semantics we want.
+_RunKey = Tuple[Any, ...]
+
+#: Paths whose append already warned once (ENOSPC/EIO degrade policy:
+#: warn on the first failure, stay quiet after, never raise).
+_append_warned: Set[str] = set()
 
 
 def _load_checkpoint(path: str, run_key: _RunKey) -> Dict[int, Any]:
@@ -631,10 +819,16 @@ def _append_checkpoint(path: str, run_key: _RunKey, index: int, value: Any) -> b
     """Append one finished trial; checkpointing must never kill the run.
 
     The record is serialized *before* the file is opened and lands in a
-    single ``write`` call, so a crash (or an unpicklable value) can
+    single ``os.write`` call, so a crash (or an unpicklable value) can
     never leave half a record behind -- a partial pickle at the tail
     would otherwise shadow every later append from
     :func:`_load_checkpoint`'s scan.
+
+    A failing filesystem (ENOSPC, EIO) degrades to *one* warning per
+    path -- a full disk would otherwise turn every trial into a log
+    line -- and the run continues on its in-memory results.  A later
+    successful append clears the flag: the journal self-stabilizes when
+    the disk does.
     """
     try:
         # Not just PicklingError: unpicklable values raise TypeError or
@@ -649,17 +843,29 @@ def _append_checkpoint(path: str, run_key: _RunKey, index: int, value: Any) -> b
         )
         return False
     try:
-        with open(path, "ab") as handle:
-            handle.write(payload)
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
     except OSError as exc:
-        _LOG.warning(
-            "checkpoint %s: trial %d not journaled (write failed: %s)",
-            path,
-            index,
-            exc,
-        )
+        if path not in _append_warned:
+            _append_warned.add(path)
+            _LOG.warning(
+                "checkpoint %s: trial %d not journaled (write failed: %s); "
+                "continuing in memory, further failures on this path are silent",
+                path,
+                index,
+                exc,
+            )
         return False
+    _append_warned.discard(path)
     return True
+
+
+def checkpoint_degraded(path: str) -> bool:
+    """Whether the last append to ``path`` failed (health reporting)."""
+    return path in _append_warned
 
 
 def _picklable(task: TrialTask) -> bool:

@@ -187,6 +187,7 @@ def run_chaos(
     workers: Optional[int] = None,
     recovery_budget_factor: float = 50.0,
     probe_resolution: float = 1.0,
+    checkpoint: Optional[str] = None,
 ) -> ChaosResult:
     """Sweep ``adversary`` over ``protocols`` x ``ns``; aggregate recovery.
 
@@ -195,7 +196,10 @@ def run_chaos(
     ``recovery_budget_factor`` scale with n (parallel time).  With
     ``poisson_rate`` set, strikes follow a Poisson process at that rate
     (per unit parallel time) over the same horizon instead of the
-    periodic schedule.
+    periodic schedule.  ``checkpoint`` names a durable trial journal:
+    an interrupted sweep re-run with the same arguments resumes from
+    it, recomputing only the missing trials with bit-identical results
+    (this is how service jobs survive a killed server).
     """
     if adversary not in adversary_names():
         raise ValueError(
@@ -206,7 +210,7 @@ def run_chaos(
             raise ValueError(
                 f"unknown protocol {key!r}; known: {', '.join(sorted(CHAOS_PROTOCOLS))}"
             )
-    runner = ParallelTrialRunner(workers)
+    runner = ParallelTrialRunner(workers, checkpoint=checkpoint)
     obs = current_recorder()
     result = ChaosResult(adversary=adversary, engine=engine, seed=seed)
     for key in protocols:

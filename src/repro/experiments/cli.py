@@ -22,11 +22,14 @@ Examples::
     repro bench --suite engine --update-baseline   # store the baseline
     repro bench --suite engine --compare-baseline  # statistical gate
     repro report                    # render the run ledger + deltas
+    repro serve                     # async job API with crash recovery
+    repro submit chaos --spec '{"ns": [16], "trials": 2}' --wait
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from contextlib import ExitStack
@@ -345,6 +348,13 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         help="additionally write the machine-readable report to PATH",
     )
+    chaos_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="durable trial journal: an interrupted sweep re-run with the "
+        "same arguments resumes from it (bit-identical results)",
+    )
     _add_obs_arguments(chaos_parser)
     _add_ledger_arguments(chaos_parser)
 
@@ -469,6 +479,104 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="write the markdown report to this file instead of stdout",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the simulation service: async job API with crash "
+        "recovery, admission control and SSE event streaming",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port; 0 picks an ephemeral port (default: 8642)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        default=os.path.join("reports", "service"),
+        metavar="DIR",
+        help="durable state root: job journal, result cache, checkpoints "
+        "(default: reports/service)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="bounded queue depth; a full queue answers 429 + Retry-After "
+        "(default: 16)",
+    )
+    serve_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--retry-budget",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per job before a retryable failure becomes terminal "
+        "(default: 3)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="W",
+        help="default worker processes for jobs that do not specify their own",
+    )
+    _add_ledger_arguments(serve_parser)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="submit a job to a running service and optionally wait for it",
+    )
+    submit_parser.add_argument(
+        "kind", choices=("run", "chaos", "bench"), help="job kind"
+    )
+    submit_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="service base URL (default: http://127.0.0.1:8642)",
+    )
+    submit_parser.add_argument(
+        "--spec",
+        default="{}",
+        metavar="JSON",
+        help="job parameters as inline JSON, e.g. "
+        "'{\"protocols\": [\"ciw\"], \"ns\": [16], \"trials\": 2}'",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job reaches a terminal state; exit non-zero "
+        "unless it completed ok",
+    )
+    submit_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the job's server-sent events to stdout (implies --wait)",
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="how long --wait/--follow may block (default: 600)",
+    )
+    submit_parser.add_argument(
+        "--result",
+        default=None,
+        metavar="PATH",
+        dest="result_path",
+        help="with --wait: write the full result document to PATH",
     )
     return parser
 
@@ -608,6 +716,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         return _cmd_report(args)
 
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
+
     if args.command == "chaos":
         # Imported lazily: the sweep pulls in the chaos + count machinery.
         from repro.experiments.chaos import run_chaos, write_json
@@ -631,6 +745,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     engine=args.engine,
                     workers=args.workers,
                     recovery_budget_factor=args.recovery_budget,
+                    checkpoint=args.checkpoint,
                 )
             except ValueError as exc:
                 print(f"chaos: {exc}", file=sys.stderr)
@@ -692,6 +807,87 @@ def main(argv: Optional[List[str]] = None) -> int:
             ok = one and ok
         _finish_recorder(args, recorder)
     return 0 if ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the self-stabilizing simulation service.
+
+    Runs until SIGINT/SIGTERM; both exit gracefully (queued jobs stay
+    journaled and a restart resumes them, which is the whole point).
+    """
+    import asyncio
+
+    from repro.service.api import serve
+
+    try:
+        asyncio.run(
+            serve(
+                host=args.host,
+                port=args.port,
+                store_root=args.store,
+                max_queue=args.max_queue,
+                job_timeout=args.job_timeout,
+                retry_budget=args.retry_budget,
+                ledger_path=_ledger_path(args),
+                workers=args.workers,
+            )
+        )
+    except KeyboardInterrupt:
+        print("serve: interrupted; journaled jobs resume on restart")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """``repro submit``: send one job to a running service."""
+    import json as json_mod
+
+    from repro.service import client
+
+    try:
+        spec = json_mod.loads(args.spec)
+    except json_mod.JSONDecodeError as exc:
+        print(f"submit: --spec is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(spec, dict):
+        print("submit: --spec must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        document = client.submit_job(args.url, args.kind, spec)
+    except client.QueueFullError as exc:
+        print(
+            f"submit: queue full, retry after ~{exc.retry_after:.0f}s",
+            file=sys.stderr,
+        )
+        return 3
+    except client.ServiceClientError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"submit: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
+    job_id = document["id"]
+    print(json_mod.dumps(document, indent=2, sort_keys=True))
+    if not (args.wait or args.follow):
+        return 0
+    if args.follow:
+        try:
+            for event in client.iter_events(args.url, job_id, timeout=args.timeout):
+                print(json_mod.dumps(event, sort_keys=True))
+        except OSError as exc:
+            print(f"submit: event stream ended: {exc}", file=sys.stderr)
+    try:
+        document = client.wait_for_job(args.url, job_id, timeout=args.timeout)
+    except TimeoutError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    print(json_mod.dumps(document, indent=2, sort_keys=True))
+    if args.result_path and document.get("state") == "done":
+        result = client.get_result(args.url, job_id)
+        with open(args.result_path, "w", encoding="utf8") as handle:
+            json_mod.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"submit: wrote result to {args.result_path}")
+    return 0 if document.get("state") == "done" and document.get("ok") is not False else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:

@@ -50,6 +50,7 @@ def run_experiment(
     quick: bool = False,
     workers: Optional[int] = None,
     engine: Optional[str] = None,
+    checkpoint: Optional[str] = None,
 ):
     """Run one experiment, forwarding ``workers``/``engine`` where supported.
 
@@ -59,7 +60,11 @@ def run_experiment(
     without them are called with ``(seed, quick)`` only, so the global
     ``--workers`` / ``--engine`` flags stay safe across the registry.
     An explicit ``engine`` for an experiment that cannot honor it is an
-    error rather than a silent default.
+    error rather than a silent default.  ``checkpoint`` (a durable
+    trial-journal path, used by service jobs for crash recovery) is
+    forwarded to runners that accept it and silently dropped otherwise
+    -- an unsupported checkpoint degrades to recomputation, never to an
+    error.
     """
     run = get_experiment(experiment_id)
     params = signature(run).parameters
@@ -67,6 +72,8 @@ def run_experiment(
     if workers and workers > 1:
         if "workers" in params:
             kwargs["workers"] = workers
+    if checkpoint is not None and "checkpoint" in params:
+        kwargs["checkpoint"] = checkpoint
     if engine is not None:
         if "engine" not in params:
             raise ValueError(

@@ -183,6 +183,7 @@ def run(
     quick: bool = False,
     workers: Optional[int] = None,
     engine: str = "count",
+    checkpoint: Optional[str] = None,
 ) -> ExperimentReport:
     """Regenerate Table 1.  ``quick`` shrinks sizes/trials for CI use.
 
@@ -199,7 +200,7 @@ def run(
         raise ValueError(
             f"engine must be 'count' or 'vector' for table1, got {engine!r}"
         )
-    runner = ParallelTrialRunner(workers)
+    runner = ParallelTrialRunner(workers, checkpoint=checkpoint)
     if quick:
         ciw_ns, ciw_trials = [16, 32, 64], 5
         os_ns, os_trials = [8, 16, 32], 8

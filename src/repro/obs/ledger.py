@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Set
 
 from repro.obs.log import get_logger
 from repro.obs.provenance import run_stamp
@@ -34,6 +34,8 @@ __all__ = [
     "DEFAULT_LEDGER_PATH",
     "LEDGER_SCHEMA_VERSION",
     "append_entry",
+    "atomic_append_line",
+    "degraded_paths",
     "iter_ledger",
     "make_entry",
     "read_ledger",
@@ -46,10 +48,71 @@ LEDGER_SCHEMA_VERSION = 1
 #: Where the CLI appends by default (``--ledger`` overrides).
 DEFAULT_LEDGER_PATH = os.path.join("reports", "ledger", "ledger.jsonl")
 
-#: Invocation kinds the ledger records.
-ENTRY_KINDS = ("run", "chaos", "bench", "verify", "synth")
+#: Invocation kinds the ledger records.  ``job`` entries come from the
+#: simulation service (:mod:`repro.service`): one per executed job,
+#: ``serve`` one per server start/stop.
+ENTRY_KINDS = ("run", "chaos", "bench", "verify", "synth", "job", "serve")
 
 logger = get_logger("obs.ledger")
+
+#: JSONL paths whose last append failed (ENOSPC/EIO degrade policy:
+#: warn once per path, continue in memory, report via ``degraded_paths``).
+_append_warned: Set[str] = set()
+
+
+def degraded_paths() -> List[str]:
+    """Append-only JSONL paths currently failing their writes.
+
+    What ``GET /healthz`` reports: a non-empty list means durable
+    observability is degraded (runs continue compute-only).  A path
+    clears itself on its next successful append.
+    """
+    return sorted(_append_warned)
+
+
+def atomic_append_line(path: str, payload: str, *, label: str = "ledger") -> bool:
+    """Append one pre-serialized line to a JSONL file; never raise.
+
+    The durable-append primitive shared by the run ledger and the
+    service job journal:
+
+    * parent directories are created on demand;
+    * a torn tail left by a killed writer is healed by prefixing a
+      newline, so one bad line never corrupts its successor;
+    * the payload lands in a single ``os.write`` on an ``O_APPEND``
+      descriptor -- concurrent appenders interleave whole lines, and a
+      crash mid-append damages at most the final line;
+    * a failing filesystem (ENOSPC, EIO) degrades to *one* warning per
+      path and a ``False`` return; the caller keeps its in-memory copy
+      and the path shows up in :func:`degraded_paths` until an append
+      succeeds again.
+    """
+    if not payload.endswith("\n"):
+        payload += "\n"
+    try:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if _needs_newline_repair(path):
+            payload = "\n" + payload
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, payload.encode("utf8"))
+        finally:
+            os.close(fd)
+    except OSError as exc:
+        if path not in _append_warned:
+            _append_warned.add(path)
+            logger.warning(
+                "%s %s: entry not journaled (write failed: %s); continuing "
+                "in memory, further failures on this path are silent",
+                label,
+                path,
+                exc,
+            )
+        return False
+    _append_warned.discard(path)
+    return True
 
 
 def make_entry(kind: str, **fields: Any) -> Dict[str, Any]:
@@ -85,18 +148,7 @@ def append_entry(path: str, entry: Dict[str, Any]) -> bool:
     except (TypeError, ValueError) as exc:
         logger.warning("ledger %s: entry not journaled (unserializable: %s)", path, exc)
         return False
-    try:
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        if _needs_newline_repair(path):
-            payload = "\n" + payload
-        with open(path, "a", encoding="utf8") as handle:
-            handle.write(payload)
-    except OSError as exc:
-        logger.warning("ledger %s: entry not journaled (write failed: %s)", path, exc)
-        return False
-    return True
+    return atomic_append_line(path, payload, label="ledger")
 
 
 def _needs_newline_repair(path: str) -> bool:

@@ -1,0 +1,137 @@
+"""A small blocking client for the service API (urllib, stdlib only).
+
+Used by ``repro submit`` and the CI service-smoke job; tests drive the
+same helpers so the client and server are exercised as one contract.
+All helpers raise :class:`ServiceClientError` with the server's decoded
+error body on non-2xx responses, except 429 which raises the typed
+:class:`QueueFullError` carrying ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "QueueFullError",
+    "ServiceClientError",
+    "get_health",
+    "get_job",
+    "get_result",
+    "iter_events",
+    "submit_job",
+    "wait_for_job",
+]
+
+
+class ServiceClientError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, body: Dict[str, Any]):
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class QueueFullError(ServiceClientError):
+    """HTTP 429: the job queue is full; retry after ``retry_after``."""
+
+    def __init__(self, status: int, body: Dict[str, Any], retry_after: float):
+        super().__init__(status, body)
+        self.retry_after = retry_after
+
+
+def _request(
+    base_url: str,
+    path: str,
+    *,
+    method: str = "GET",
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    url = base_url.rstrip("/") + path
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            body = json.loads(exc.read().decode("utf8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            body = {"error": str(exc)}
+        if exc.code == 429:
+            retry_after = float(
+                exc.headers.get("Retry-After", body.get("retry_after", 1.0))
+            )
+            raise QueueFullError(exc.code, body, retry_after) from None
+        raise ServiceClientError(exc.code, body) from None
+
+
+def submit_job(
+    base_url: str, kind: str, spec: Dict[str, Any], *, timeout: float = 30.0
+) -> Dict[str, Any]:
+    """POST one job; returns the job document (may be an existing job)."""
+    return _request(
+        base_url, "/jobs", method="POST",
+        payload={"kind": kind, "spec": spec}, timeout=timeout,
+    )
+
+
+def get_job(base_url: str, job_id: str, *, timeout: float = 30.0) -> Dict[str, Any]:
+    return _request(base_url, f"/jobs/{job_id}", timeout=timeout)
+
+
+def get_result(base_url: str, job_id: str, *, timeout: float = 30.0) -> Dict[str, Any]:
+    return _request(base_url, f"/jobs/{job_id}/result", timeout=timeout)
+
+
+def get_health(base_url: str, *, timeout: float = 10.0) -> Dict[str, Any]:
+    return _request(base_url, "/healthz", timeout=timeout)
+
+
+def wait_for_job(
+    base_url: str,
+    job_id: str,
+    *,
+    timeout: float = 300.0,
+    poll: float = 0.25,
+) -> Dict[str, Any]:
+    """Poll until the job is terminal; returns its final document."""
+    deadline = time.monotonic() + timeout
+    while True:
+        document = get_job(base_url, job_id)
+        if document.get("state") in ("done", "failed"):
+            return document
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"job {job_id} still {document.get('state')!r} after {timeout}s"
+            )
+        time.sleep(poll)
+
+
+def iter_events(
+    base_url: str, job_id: str, *, timeout: float = 300.0
+) -> Iterator[Dict[str, Any]]:
+    """Stream a job's SSE feed as decoded ``data:`` payloads.
+
+    Yields each event's JSON body until the server closes the stream
+    (terminal job state) or ``timeout`` elapses on a read.
+    """
+    url = base_url.rstrip("/") + f"/jobs/{job_id}/events"
+    request = urllib.request.Request(url, headers={"Accept": "text/event-stream"})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        for raw in response:
+            line = raw.decode("utf8").rstrip("\n")
+            if line.startswith("data: "):
+                try:
+                    yield json.loads(line[len("data: "):])
+                except json.JSONDecodeError:
+                    continue

@@ -1,0 +1,801 @@
+"""Validated job specs and the crash-recovering job manager.
+
+A *job* is one unit of simulation work -- an experiment run, a chaos
+sweep or a benchmark suite -- submitted over the HTTP API (or ``repro
+submit``) as a JSON payload, validated against the experiment registry,
+and executed in worker processes through the exact same code path the
+CLI uses (:func:`repro.experiments.registry.run_experiment`,
+:func:`repro.experiments.chaos.run_chaos`,
+:func:`repro.obs.bench.run_suite`), so a job's result is bit-identical
+to the equivalent command line.
+
+Identity is the PR-5 provenance triple: a job's ``cache_key`` hashes
+``(spec, seed, git_sha)``, its id is derived from the key, and the
+result cache is keyed by it -- submitting the same work twice returns
+the same job, and a completed job's result is served from storage with
+zero trial executions.
+
+Robustness model (the paper's thesis applied to infrastructure):
+
+* **Admission control** -- the queue is bounded; a full queue rejects
+  with :class:`AdmissionError` (HTTP 429 + ``Retry-After``) instead of
+  accepting work it cannot finish.
+* **Retry with backoff** -- retryable failures (a broken worker pool
+  surfacing as :class:`~repro.core.parallel.PoolExhaustedError`, a hung
+  trial surfacing as :class:`~repro.core.parallel.TrialTimeoutError`)
+  are retried with exponential backoff and jitter under a retry budget;
+  deterministic task errors fail immediately (rerunning a pure function
+  reproduces the bug, and masking it hides the experiment defect).
+* **Crash recovery** -- every state transition is journaled through the
+  durable :class:`~repro.service.store.JobStore`; on restart, live jobs
+  re-enter the queue and resume mid-sweep from their per-job
+  :class:`~repro.core.parallel.ParallelTrialRunner` checkpoint, so a
+  ``kill -9`` costs at most the trial that was in flight.
+* **Graceful degradation** -- journal/ledger/result-cache write
+  failures degrade the service to compute-only (reported by
+  ``GET /healthz``) rather than crashing it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import random
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.parallel import PoolExhaustedError, TrialTimeoutError
+from repro.core.rng import DEFAULT_SEED
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.provenance import git_sha, utc_timestamp
+from repro.obs.log import get_logger
+from repro.service.store import JobStore
+
+__all__ = [
+    "AdmissionError",
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "JobValidationError",
+    "JOB_KINDS",
+]
+
+logger = get_logger("service.jobs")
+
+#: Job kinds the service accepts, mapped onto the existing CLI verbs.
+JOB_KINDS = ("run", "chaos", "bench")
+
+#: Exceptions that justify a retry: infrastructure failures, not task
+#: bugs.  Everything else fails the job on first occurrence.
+RETRYABLE = (PoolExhaustedError, TrialTimeoutError)
+
+
+class JobValidationError(ValueError):
+    """The submitted payload is not a valid job spec."""
+
+
+class AdmissionError(RuntimeError):
+    """The job queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"job queue is full; retry after ~{retry_after:.0f}s"
+        )
+        self.retry_after = retry_after
+
+
+# ---------------------------------------------------------------------------
+# Spec validation
+# ---------------------------------------------------------------------------
+
+#: Per-kind parameter schemas: name -> (accepted types, default).
+#: ``None`` defaults mean "absent unless provided"; they are dropped
+#: from the canonical form so adding an optional knob later does not
+#: invalidate existing cache keys.
+_RUN_PARAMS: Dict[str, Tuple[Tuple[type, ...], Any]] = {
+    "experiment": ((str,), None),
+    "seed": ((int,), DEFAULT_SEED),
+    "quick": ((bool,), True),
+    "workers": ((int,), None),
+    "engine": ((str,), None),
+}
+
+_CHAOS_PARAMS: Dict[str, Tuple[Tuple[type, ...], Any]] = {
+    "protocols": ((list, tuple), ["ciw", "optimal-silent"]),
+    "ns": ((list, tuple), [16, 32, 64]),
+    "adversary": ((str,), "random"),
+    "trials": ((int,), 3),
+    "seed": ((int,), DEFAULT_SEED),
+    "agents": ((int,), None),
+    "fraction": ((float, int), 0.125),
+    "period_factor": ((float, int), 2.0),
+    "strikes": ((int,), 3),
+    "poisson_rate": ((float, int), None),
+    "engine": ((str,), "auto"),
+    "workers": ((int,), None),
+    "recovery_budget_factor": ((float, int), 50.0),
+}
+
+_BENCH_PARAMS: Dict[str, Tuple[Tuple[type, ...], Any]] = {
+    "suite": ((str,), None),
+    "seed": ((int,), DEFAULT_SEED),
+    "repeats": ((int,), None),
+    "cells": ((list, tuple), None),
+}
+
+_SCHEMAS = {"run": _RUN_PARAMS, "chaos": _CHAOS_PARAMS, "bench": _BENCH_PARAMS}
+
+
+def _check_type(kind: str, name: str, value: Any, accepted: Tuple[type, ...]) -> Any:
+    # bool is an int subclass; reject it where int is expected so a
+    # payload of {"seed": true} cannot slip through as seed=1.
+    if isinstance(value, bool) and bool not in accepted:
+        raise JobValidationError(
+            f"{kind} job: parameter {name!r} must be "
+            f"{'/'.join(t.__name__ for t in accepted)}, got a boolean"
+        )
+    if not isinstance(value, accepted):
+        raise JobValidationError(
+            f"{kind} job: parameter {name!r} must be "
+            f"{'/'.join(t.__name__ for t in accepted)}, "
+            f"got {type(value).__name__}"
+        )
+    return list(value) if isinstance(value, tuple) else value
+
+
+class JobSpec:
+    """One validated, canonicalized job specification.
+
+    ``params`` holds the defaulted parameters; canonical serialization
+    (sorted keys, ``None`` values dropped) is what the cache key hashes,
+    so two payloads describing the same work -- different key order,
+    explicit defaults -- share an identity.
+    """
+
+    def __init__(self, kind: str, params: Dict[str, Any]):
+        self.kind = kind
+        self.params = params
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        """Validate a decoded JSON payload into a spec (or raise)."""
+        if not isinstance(payload, dict):
+            raise JobValidationError("job payload must be a JSON object")
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise JobValidationError(
+                f"job kind must be one of {list(JOB_KINDS)}, got {kind!r}"
+            )
+        schema = _SCHEMAS[kind]
+        spec_fields = payload.get("spec", {})
+        if not isinstance(spec_fields, dict):
+            raise JobValidationError("'spec' must be a JSON object")
+        unknown = sorted(set(spec_fields) - set(schema))
+        if unknown:
+            raise JobValidationError(
+                f"{kind} job: unknown parameter(s) {unknown}; "
+                f"known: {sorted(schema)}"
+            )
+        params: Dict[str, Any] = {}
+        for name, (accepted, default) in schema.items():
+            if name in spec_fields and spec_fields[name] is not None:
+                params[name] = _check_type(kind, name, spec_fields[name], accepted)
+            elif default is not None:
+                params[name] = default
+        cls._validate_semantics(kind, params)
+        return cls(kind, params)
+
+    @staticmethod
+    def _validate_semantics(kind: str, params: Dict[str, Any]) -> None:
+        """Cross-field checks against the live registries (imported lazily)."""
+        if kind == "run":
+            experiment = params.get("experiment")
+            if not experiment:
+                raise JobValidationError("run job: 'experiment' is required")
+            from repro.experiments.registry import all_experiments
+
+            if experiment not in all_experiments():
+                raise JobValidationError(
+                    f"run job: unknown experiment {experiment!r}; "
+                    f"known: {', '.join(all_experiments())}"
+                )
+            engine = params.get("engine")
+            if engine is not None:
+                from repro.experiments.common import ENGINES
+
+                if engine not in ENGINES:
+                    raise JobValidationError(
+                        f"run job: engine must be one of {list(ENGINES)}, "
+                        f"got {engine!r}"
+                    )
+        elif kind == "chaos":
+            from repro.core.chaos import adversary_names
+            from repro.experiments.chaos import CHAOS_PROTOCOLS
+
+            for key in params["protocols"]:
+                if key not in CHAOS_PROTOCOLS:
+                    raise JobValidationError(
+                        f"chaos job: unknown protocol {key!r}; "
+                        f"known: {', '.join(sorted(CHAOS_PROTOCOLS))}"
+                    )
+            if params["adversary"] not in adversary_names():
+                raise JobValidationError(
+                    f"chaos job: unknown adversary {params['adversary']!r}; "
+                    f"known: {', '.join(adversary_names())}"
+                )
+            if not params["ns"] or not all(
+                isinstance(n, int) and not isinstance(n, bool) and n >= 2
+                for n in params["ns"]
+            ):
+                raise JobValidationError(
+                    "chaos job: 'ns' must be a non-empty list of ints >= 2"
+                )
+            if params["trials"] < 1:
+                raise JobValidationError("chaos job: 'trials' must be >= 1")
+        elif kind == "bench":
+            if not params.get("suite"):
+                raise JobValidationError("bench job: 'suite' is required")
+        for name in ("workers",):
+            value = params.get(name)
+            if value is not None and value < 1:
+                raise JobValidationError(f"{kind} job: {name!r} must be >= 1")
+
+    def canonical(self) -> str:
+        """The canonical JSON form (what the cache key hashes)."""
+        return json.dumps(
+            {"kind": self.kind, "spec": self.params}, sort_keys=True
+        )
+
+    def cache_key(self, sha: Optional[str] = None) -> str:
+        """Hash of the provenance triple ``(spec, seed, git_sha)``.
+
+        The seed lives inside the spec; the source SHA comes in from
+        the outside so that results computed by one tree are never
+        served to another -- the same staleness rule the trial
+        checkpoint applies.
+        """
+        sha = sha if sha is not None else (git_sha() or "no-git")
+        digest = hashlib.sha256()
+        digest.update(self.canonical().encode("utf8"))
+        digest.update(b"\x00")
+        digest.update(sha.encode("utf8"))
+        return digest.hexdigest()
+
+    @property
+    def seed(self) -> int:
+        return int(self.params.get("seed", DEFAULT_SEED))
+
+
+# ---------------------------------------------------------------------------
+# Execution (runs inside the executor thread; workers do the trials)
+# ---------------------------------------------------------------------------
+
+
+def execute_spec(
+    spec: JobSpec,
+    *,
+    checkpoint: Optional[str] = None,
+    recorder: Optional[MetricsRecorder] = None,
+) -> Dict[str, Any]:
+    """Run one job spec to completion; returns the result document body.
+
+    Trial execution stays in worker processes via the same
+    :class:`~repro.core.parallel.ParallelTrialRunner` paths the CLI
+    uses; ``checkpoint`` is the job's durable trial journal, so calling
+    this again after a crash recomputes only the missing trials and the
+    result is bit-identical to an uninterrupted call.
+    """
+    from contextlib import nullcontext
+
+    from repro.obs.context import recording
+
+    scope = recording(recorder) if recorder is not None else nullcontext()
+    with scope:
+        if spec.kind == "chaos":
+            return _execute_chaos(spec, checkpoint)
+        if spec.kind == "run":
+            return _execute_run(spec, checkpoint)
+        if spec.kind == "bench":
+            return _execute_bench(spec)
+        raise JobValidationError(f"unknown job kind {spec.kind!r}")
+
+
+def _execute_chaos(spec: JobSpec, checkpoint: Optional[str]) -> Dict[str, Any]:
+    from repro.experiments.chaos import run_chaos
+
+    params = dict(spec.params)
+    result = run_chaos(
+        protocols=params["protocols"],
+        ns=params["ns"],
+        adversary=params["adversary"],
+        trials=params["trials"],
+        seed=params["seed"],
+        agents=params.get("agents"),
+        fraction=float(params["fraction"]),
+        period_factor=float(params["period_factor"]),
+        strikes=params["strikes"],
+        poisson_rate=(
+            float(params["poisson_rate"]) if params.get("poisson_rate") is not None
+            else None
+        ),
+        engine=params["engine"],
+        workers=params.get("workers"),
+        recovery_budget_factor=float(params["recovery_budget_factor"]),
+        checkpoint=checkpoint,
+    )
+    return {
+        "ok": result.all_recovered,
+        "result": result.to_json(),
+    }
+
+
+def _execute_run(spec: JobSpec, checkpoint: Optional[str]) -> Dict[str, Any]:
+    from repro.experiments.registry import run_experiment
+
+    params = spec.params
+    report = run_experiment(
+        params["experiment"],
+        seed=params["seed"],
+        quick=params.get("quick", True),
+        workers=params.get("workers"),
+        engine=params.get("engine"),
+        checkpoint=checkpoint,
+    )
+    return {
+        "ok": report.all_passed,
+        "result": {
+            "experiment": params["experiment"],
+            "all_passed": report.all_passed,
+            "rows": report.rows,
+            "checks": {
+                name: {
+                    "passed": check.passed,
+                    "measured": check.measured,
+                    "expected": check.expected,
+                }
+                for name, check in report.checks.items()
+            },
+            "markdown": report.render_markdown(),
+        },
+    }
+
+
+def _execute_bench(spec: JobSpec) -> Dict[str, Any]:
+    from repro.obs import bench as bench_mod
+
+    params = spec.params
+    suites = bench_mod.discover_suites("benchmarks")
+    name = params["suite"]
+    if name not in suites:
+        raise JobValidationError(
+            f"bench job: unknown suite {name!r}; "
+            f"discovered: {', '.join(sorted(suites)) or 'none'}"
+        )
+    result = bench_mod.run_suite(
+        suites[name],
+        seed=params["seed"],
+        repeats=params.get("repeats"),
+        cells=params.get("cells"),
+    )
+    return {"ok": True, "result": result}
+
+
+# ---------------------------------------------------------------------------
+# Jobs and the manager
+# ---------------------------------------------------------------------------
+
+#: SSE replay buffer size per job (events beyond it age out oldest-first).
+EVENT_BUFFER = 512
+
+
+class Job:
+    """One submitted job: spec, lifecycle state and its event stream."""
+
+    def __init__(self, job_id: str, spec: JobSpec, cache_key: str):
+        self.id = job_id
+        self.spec = spec
+        self.cache_key = cache_key
+        self.state = "queued"
+        self.attempt = 0
+        self.error: Optional[str] = None
+        self.cache_hit = False
+        self.created_unix = utc_timestamp()
+        self.updated_unix = self.created_unix
+        self.wall_seconds: Optional[float] = None
+        self.result: Optional[Dict[str, Any]] = None
+        self.event_counts: Dict[str, int] = {}
+        #: Replay buffer for SSE: (sequence, record) pairs.
+        self.events: Deque[Tuple[int, Dict[str, Any]]] = deque(maxlen=EVENT_BUFFER)
+        self._event_seq = 0
+        self._subscribers: List[asyncio.Queue] = []
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def publish(self, record: Dict[str, Any]) -> None:
+        """Append to the replay buffer and fan out to live subscribers.
+
+        Must run on the event loop thread; executor threads hop over
+        via ``loop.call_soon_threadsafe``.
+        """
+        self._event_seq += 1
+        entry = (self._event_seq, record)
+        self.events.append(entry)
+        for queue in list(self._subscribers):
+            try:
+                queue.put_nowait(entry)
+            except asyncio.QueueFull:  # slow consumer: drop, SSE is lossy
+                pass
+
+    def subscribe(self) -> "asyncio.Queue[Tuple[int, Dict[str, Any]]]":
+        queue: asyncio.Queue = asyncio.Queue(maxsize=EVENT_BUFFER)
+        self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: "asyncio.Queue") -> None:
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    def to_document(self) -> Dict[str, Any]:
+        """The JSON document ``GET /jobs/{id}`` serves."""
+        document: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "spec": self.spec.params,
+            "cache_key": self.cache_key,
+            "state": self.state,
+            "attempt": self.attempt,
+            "cache_hit": self.cache_hit,
+            "created_unix": round(self.created_unix, 3),
+            "updated_unix": round(self.updated_unix, 3),
+        }
+        if self.error is not None:
+            document["error"] = self.error
+        if self.wall_seconds is not None:
+            document["wall_seconds"] = round(self.wall_seconds, 6)
+        if self.event_counts:
+            document["event_counts"] = self.event_counts
+        if self.result is not None:
+            document["ok"] = self.result.get("ok")
+        return document
+
+
+class _ForwardingRecorder(MetricsRecorder):
+    """A recorder that mirrors events/samples to a thread-safe callback.
+
+    The callback receives plain dict records (already stamped with
+    their type), which the manager hops onto the event loop to publish
+    as SSE.  Recording stays bit-identical: forwarding never touches
+    engine RNG, exactly like tracing.
+    """
+
+    def __init__(self, forward: Callable[[Dict[str, Any]], None], **kwargs: Any):
+        super().__init__(**kwargs)
+        self._forward = forward
+
+    def event(self, kind: str, **fields: Any) -> None:
+        super().event(kind, **fields)
+        self._forward({"type": "event", "kind": kind, **fields})
+
+    def sample(self, *, t: float, **fields: Any) -> None:
+        super().sample(t=t, **fields)
+        self._forward({"type": "sample", "t": t, **fields})
+
+
+class JobManager:
+    """Bounded-queue job execution with crash recovery.
+
+    One manager owns one :class:`~repro.service.store.JobStore` and a
+    single-threaded executor (jobs run one at a time by default; the
+    *trials* of a job parallelize across worker processes).  All public
+    methods are event-loop-thread only.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        max_queue: int = 16,
+        job_timeout: Optional[float] = None,
+        retry_budget: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        ledger_path: Optional[str] = None,
+        default_workers: Optional[int] = None,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if retry_budget < 1:
+            raise ValueError(f"retry_budget must be >= 1, got {retry_budget}")
+        self.store = store
+        self.max_queue = max_queue
+        self.job_timeout = job_timeout
+        self.retry_budget = retry_budget
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.ledger_path = ledger_path
+        self.default_workers = default_workers
+        self.jobs: Dict[str, Job] = {}
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self._worker_task: Optional[asyncio.Task] = None
+        self._executor: Any = None
+        #: EMA of job wall seconds, seeding the 429 Retry-After estimate.
+        self._mean_wall = 10.0
+        self._stopping = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> int:
+        """Recover journaled jobs and start the worker; returns the
+        number of jobs re-admitted from the journal."""
+        import concurrent.futures
+
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-job"
+        )
+        recovered = 0
+        for job_id, document in sorted(self.store.recover().items()):
+            state = document.get("state")
+            payload = document.get("payload")
+            if job_id in self.jobs or not isinstance(payload, dict):
+                continue
+            try:
+                spec = JobSpec.from_payload(payload)
+            except JobValidationError as exc:
+                logger.warning("recovery: job %s dropped (%s)", job_id, exc)
+                continue
+            job = Job(job_id, spec, document.get("cache_key", spec.cache_key()))
+            job.attempt = int(document.get("attempt", 0))
+            if state in ("queued", "running", "retrying"):
+                # Live when the process died: re-admit.  A previously
+                # ``running`` job resumes mid-sweep from its trial
+                # checkpoint -- completed trials are never recomputed.
+                job.state = "queued"
+                self.jobs[job_id] = job
+                self.store.append(
+                    {"job": job_id, "state": "queued", "recovered": True,
+                     "ts": round(utc_timestamp(), 3)}
+                )
+                self._queue.put_nowait(job)
+                recovered += 1
+            elif state in ("done", "failed"):
+                job.state = state
+                job.error = document.get("error")
+                job.cache_hit = bool(document.get("cache_hit", False))
+                if state == "done":
+                    job.result = self.store.load_result(job.cache_key)
+                    if job.result is not None:
+                        job.event_counts = dict(
+                            job.result.get("event_counts", {})
+                        )
+                self.jobs[job_id] = job
+        self._worker_task = asyncio.ensure_future(self._worker_loop())
+        if recovered:
+            logger.warning("recovery: re-admitted %d live job(s)", recovered)
+        return recovered
+
+    async def stop(self) -> None:
+        """Stop the worker loop; queued jobs stay journaled for restart."""
+        self._stopping = True
+        if self._worker_task is not None:
+            self._worker_task.cancel()
+            try:
+                await self._worker_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._worker_task = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    # -- submission -----------------------------------------------------
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def retry_after_estimate(self) -> float:
+        """Seconds until the queue likely has room (for ``Retry-After``)."""
+        backlog = self._queue.qsize() + sum(
+            1 for job in self.jobs.values() if job.state == "running"
+        )
+        return max(1.0, round(self._mean_wall * max(1, backlog), 1))
+
+    def submit(self, payload: Any) -> Tuple[Job, bool]:
+        """Admit one job payload; returns ``(job, created)``.
+
+        Idempotent by construction: the job id derives from the cache
+        key, so resubmitting identical work returns the existing job --
+        live or completed -- rather than queueing a duplicate.  A full
+        queue raises :class:`AdmissionError`; an invalid payload raises
+        :class:`JobValidationError`.
+        """
+        spec = JobSpec.from_payload(payload)
+        cache_key = spec.cache_key()
+        job_id = f"job-{cache_key[:16]}"
+        existing = self.jobs.get(job_id)
+        if existing is not None and not (
+            existing.state == "failed"
+        ):
+            return existing, False
+        # A previously failed job may be resubmitted: fresh attempt
+        # budget, same identity, same checkpoint (completed trials of
+        # the failed run still count).
+        if self._queue.qsize() >= self.max_queue:
+            raise AdmissionError(self.retry_after_estimate())
+        job = Job(job_id, spec, cache_key)
+        if existing is not None:
+            job.attempt = 0
+        self.jobs[job_id] = job
+        self.store.append(
+            {
+                "job": job_id,
+                "state": "queued",
+                "payload": {"kind": spec.kind, "spec": spec.params},
+                "cache_key": cache_key,
+                "ts": round(job.created_unix, 3),
+            }
+        )
+        self._queue.put_nowait(job)
+        return job, True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    # -- execution ------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run_job(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # defensive: the loop must survive
+                logger.warning("job %s: unexpected manager error: %s", job.id, exc)
+                self._transition(job, "failed", error=f"internal: {exc}")
+
+    def _transition(self, job: Job, state: str, **fields: Any) -> None:
+        job.state = state
+        job.updated_unix = utc_timestamp()
+        if "error" in fields:
+            job.error = fields["error"]
+        self.store.append(
+            {"job": job.id, "state": state, "attempt": job.attempt,
+             "ts": round(job.updated_unix, 3), **fields}
+        )
+        job.publish({"type": "state", "state": state, "attempt": job.attempt,
+                     **{k: v for k, v in fields.items() if k != "payload"}})
+
+    async def _run_job(self, job: Job) -> None:
+        # Result-cache short circuit: identical (spec, seed, sha) work
+        # already completed -- serve it with zero trial executions.
+        cached = self.store.load_result(job.cache_key)
+        if cached is not None:
+            job.result = cached
+            job.cache_hit = True
+            job.wall_seconds = 0.0
+            job.event_counts = dict(cached.get("event_counts", {}))
+            self._transition(job, "done", cache_hit=True, wall_seconds=0.0)
+            self._ledger(job)
+            return
+        loop = asyncio.get_event_loop()
+
+        def forward(record: Dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(job.publish, record)
+
+        started = time.perf_counter()
+        while True:
+            job.attempt += 1
+            self._transition(job, "running")
+            recorder = _ForwardingRecorder(forward)
+            spec = job.spec
+            if self.default_workers and "workers" not in spec.params:
+                spec = JobSpec(
+                    spec.kind, {**spec.params, "workers": self.default_workers}
+                )
+            try:
+                body = await self._execute(spec, job, recorder)
+            except RETRYABLE as exc:
+                if job.attempt >= self.retry_budget:
+                    self._transition(
+                        job, "failed",
+                        error=f"retry budget exhausted after "
+                              f"{job.attempt} attempt(s): {exc}",
+                    )
+                    self._ledger(job)
+                    return
+                backoff = self._backoff(job.attempt)
+                self._transition(
+                    job, "retrying", error=str(exc),
+                    backoff_seconds=round(backoff, 3),
+                )
+                await asyncio.sleep(backoff)
+                continue
+            except asyncio.TimeoutError:
+                self._transition(
+                    job, "failed",
+                    error=f"exceeded job timeout of {self.job_timeout}s",
+                )
+                self._ledger(job)
+                return
+            except Exception as exc:
+                self._transition(job, "failed", error=f"{type(exc).__name__}: {exc}")
+                self._ledger(job)
+                return
+            break
+        wall = time.perf_counter() - started
+        job.wall_seconds = wall
+        self._mean_wall = 0.7 * self._mean_wall + 0.3 * wall
+        job.event_counts = dict(recorder.event_counts)
+        document = {
+            "cache_key": job.cache_key,
+            "kind": job.spec.kind,
+            "spec": job.spec.params,
+            "git_sha": git_sha(),
+            "wall_seconds": round(wall, 6),
+            "event_counts": job.event_counts,
+            **body,
+        }
+        job.result = document
+        self.store.write_result(job.cache_key, document)
+        self._transition(
+            job, "done", wall_seconds=round(wall, 6), ok=body.get("ok")
+        )
+        self._ledger(job)
+
+    async def _execute(
+        self, spec: JobSpec, job: Job, recorder: MetricsRecorder
+    ) -> Dict[str, Any]:
+        loop = asyncio.get_event_loop()
+        future = loop.run_in_executor(
+            self._executor,
+            lambda: execute_spec(
+                spec,
+                checkpoint=self.store.checkpoint_path(job.id),
+                recorder=recorder,
+            ),
+        )
+        if self.job_timeout is not None:
+            return await asyncio.wait_for(future, timeout=self.job_timeout)
+        return await future
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with jitter before retry ``attempt + 1``."""
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 1)))
+        return base * (0.5 + random.random())
+
+    def _ledger(self, job: Job) -> None:
+        """Stamp the finished job into the PR-5 run ledger (never raises)."""
+        from repro.obs.ledger import record_invocation
+
+        try:
+            record_invocation(
+                "job",
+                path=self.ledger_path,
+                job_id=job.id,
+                job_kind=job.spec.kind,
+                cache_key=job.cache_key,
+                state=job.state,
+                attempt=job.attempt,
+                cache_hit=job.cache_hit or None,
+                error=job.error,
+                wall_seconds=(
+                    round(job.wall_seconds, 6)
+                    if job.wall_seconds is not None
+                    else None
+                ),
+                ok=(job.result or {}).get("ok"),
+            )
+        except Exception as exc:  # pragma: no cover - ledger never kills jobs
+            logger.warning("job %s: ledger stamp failed: %s", job.id, exc)

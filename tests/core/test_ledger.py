@@ -126,3 +126,52 @@ class TestRecordInvocation:
         assert entry["n"] == 32
         assert "aggregates" in entry
         assert entry["aggregates"]["event_counts"]["convergence"] == 1
+
+
+class TestServiceEntryKinds:
+    def test_job_and_serve_kinds_accepted(self):
+        assert make_entry("job", job_id="job-abc", state="done")["kind"] == "job"
+        assert make_entry("serve", port=8642)["kind"] == "serve"
+
+
+class TestAppendDegradation:
+    """ENOSPC/EIO policy: one warning per path, in-memory continuation,
+    the path reported via degraded_paths() until an append succeeds."""
+
+    def _fail_writes_to(self, monkeypatch, path):
+        import errno
+
+        real_write = os.write
+
+        def failing_write(fd, data):
+            try:
+                target = os.readlink(f"/proc/self/fd/{fd}")
+            except OSError:
+                target = ""
+            if target == path:
+                raise OSError(errno.ENOSPC, "No space left on device")
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", failing_write)
+
+    def test_full_disk_warns_once_and_self_clears(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        from repro.obs.ledger import degraded_paths
+
+        path = str(tmp_path / "ledger.jsonl")
+        self._fail_writes_to(monkeypatch, path)
+        with caplog.at_level("WARNING"):
+            for index in range(4):
+                assert append_entry(path, make_entry("run", index=index)) is False
+        assert path in degraded_paths()
+        warned = [
+            record for record in caplog.records if "write failed" in record.message
+        ]
+        assert len(warned) == 1  # four failures, one warning
+        monkeypatch.undo()
+        # The disk recovers: the next append succeeds and the degraded
+        # flag clears itself.
+        assert append_entry(path, make_entry("run", index=99))
+        assert path not in degraded_paths()
+        assert [entry["index"] for entry in read_ledger(path)] == [99]

@@ -335,3 +335,249 @@ class TestCheckpointDurability:
         assert os.path.getsize(checkpoint) == size  # not even one byte
         assert _append_checkpoint(checkpoint, run_key, 2, 2.5)
         assert _load_checkpoint(checkpoint, run_key) == {0: 1.5, 2: 2.5}
+
+
+def stall_once(sentinel: str, rng: random.Random) -> float:
+    """First trial to win the sentinel stalls; the rest finish fast.
+
+    The stalled trial pins the in-order harvest loop, so faster trials
+    with higher indices finish un-journaled -- exactly the window the
+    graceful signal drain exists to close.  On a resume the sentinel
+    already exists, so the task runs instantly (the draw happens first
+    either way, keeping results bit-identical).
+    """
+    value = rng.random()
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        time.sleep(0.05)
+        return value
+    os.close(fd)
+    time.sleep(6)
+    return value
+
+
+class TestRunKeyProvenance:
+    """The checkpoint key is the (seed, labels, git_sha) triple: records
+    written under any *other* triple must be ignored, never reused."""
+
+    def _fixed_sha(self, monkeypatch, value):
+        from repro.obs import provenance
+
+        monkeypatch.setattr(provenance, "git_sha", lambda short=False: value)
+
+    def _count(self, log):
+        if not os.path.exists(log):
+            return 0
+        with open(log, encoding="utf8") as handle:
+            return len(handle.read().splitlines())
+
+    def test_same_sha_resume_recomputes_nothing(self, tmp_path, monkeypatch):
+        self._fixed_sha(monkeypatch, "sha-one")
+        checkpoint = str(tmp_path / "journal.pkl")
+        log = str(tmp_path / "invocations.log")
+        first = ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=5, labels=("prov",), trials=4
+        )
+        assert self._count(log) == 4
+        again = ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=5, labels=("prov",), trials=4
+        )
+        assert again == first
+        assert self._count(log) == 4  # everything served from the journal
+
+    def test_different_sha_ignores_stale_checkpoint(self, tmp_path, monkeypatch):
+        """A journal written by one source tree must not satisfy a resume
+        from another: the code that produced those trials is not the
+        code resuming them."""
+        self._fixed_sha(monkeypatch, "sha-one")
+        checkpoint = str(tmp_path / "journal.pkl")
+        log = str(tmp_path / "invocations.log")
+        first = ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=5, labels=("prov",), trials=4
+        )
+        self._fixed_sha(monkeypatch, "sha-two")
+        second = ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=5, labels=("prov",), trials=4
+        )
+        # Recomputed from scratch (stale records ignored) -- but still
+        # bit-identical, because trial RNGs derive from (seed, labels, i).
+        assert self._count(log) == 8
+        assert second == first
+
+    def test_different_seed_or_labels_ignores_checkpoint(self, tmp_path, monkeypatch):
+        self._fixed_sha(monkeypatch, "sha-one")
+        checkpoint = str(tmp_path / "journal.pkl")
+        log = str(tmp_path / "invocations.log")
+        ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=5, labels=("prov",), trials=3
+        )
+        ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=6, labels=("prov",), trials=3
+        )
+        assert self._count(log) == 6  # other seed: all recomputed
+        ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=5, labels=("other",), trials=3
+        )
+        assert self._count(log) == 9  # other labels: all recomputed
+        # The original triple still resumes for free.
+        ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+            partial(logging_draw, log), seed=5, labels=("prov",), trials=3
+        )
+        assert self._count(log) == 9
+
+
+class TestPoolExhaustion:
+    def test_pool_exhausted_raises_typed_error(self, tmp_path):
+        """With serial_fallback off, exhausting the retry budget raises
+        PoolExhaustedError carrying exactly the missing trial indices."""
+        from repro.core.parallel import PoolExhaustedError
+
+        runner = ParallelTrialRunner(
+            2, pool_retries=1, pool_backoff=0.0, serial_fallback=False
+        )
+        with pytest.raises(PoolExhaustedError) as info:
+            runner.map_trials(crash_every_worker, seed=11, labels=("px",), trials=4)
+        assert info.value.rounds == 2
+        assert set(info.value.missing) <= set(range(4))
+        assert info.value.missing  # at least one trial never completed
+
+    def test_backoff_is_exponential_with_bounded_jitter(self):
+        runner = ParallelTrialRunner(2, pool_backoff=0.25)
+        for round_index in range(4):
+            base = 0.25 * (2.0 ** round_index)
+            for _ in range(16):
+                value = runner._retry_backoff(round_index)
+                assert base * 0.5 <= value < base * 1.5
+
+    def test_zero_backoff_disables_sleep(self):
+        runner = ParallelTrialRunner(2, pool_backoff=0.0)
+        assert runner._retry_backoff(3) == 0.0
+
+    def test_worker_retry_event_carries_backoff(self, tmp_path):
+        from repro.obs.metrics import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        sentinel = str(tmp_path / "crash-once")
+        runner = ParallelTrialRunner(2, pool_backoff=0.01, recorder=recorder)
+        results = runner.map_trials(
+            partial(crash_worker_once, sentinel), seed=13, labels=("ev",), trials=4
+        )
+        assert results == [make_rng(13, "ev", i).random() for i in range(4)]
+        retries = recorder.events_of("worker-retry")
+        assert retries
+        assert retries[0]["backoff_seconds"] >= 0.0
+        assert retries[0]["round"] == 1
+
+
+class TestGracefulSignalDrain:
+    """SIGTERM/SIGINT inside a checkpointed run drains completed trials
+    into the journal before re-raising -- a polite kill wastes nothing."""
+
+    def test_sigterm_converts_to_systemexit_and_restores_handler(self, tmp_path):
+        import signal
+
+        checkpoint = str(tmp_path / "journal.pkl")
+        runner = ParallelTrialRunner(1, checkpoint=checkpoint)
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(SystemExit) as info:
+            with runner._graceful_signal_scope():
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(5)  # interrupted by delivery
+        assert info.value.code == 128 + signal.SIGTERM
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_scope_is_noop_without_checkpoint(self):
+        import signal
+
+        runner = ParallelTrialRunner(1)
+        before = signal.getsignal(signal.SIGINT)
+        with runner._graceful_signal_scope():
+            assert signal.getsignal(signal.SIGINT) is before
+
+    def test_sigint_drains_completed_trials_then_resume_is_identical(self, tmp_path):
+        """Kill a pooled run while one straggler pins the harvest loop:
+        the faster trials must land in the journal, and a resume must
+        complete with results bit-identical to an uninterrupted run."""
+        import signal
+        import threading
+
+        checkpoint = str(tmp_path / "journal.pkl")
+        sentinel = str(tmp_path / "stall-once")
+        task = partial(stall_once, sentinel)
+        expected = [make_rng(17, "drain", i).random() for i in range(6)]
+
+        timer = threading.Timer(
+            1.5, lambda: os.kill(os.getpid(), signal.SIGINT)
+        )
+        timer.start()
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                ParallelTrialRunner(2, checkpoint=checkpoint).map_trials(
+                    task, seed=17, labels=("drain",), trials=6
+                )
+        finally:
+            timer.cancel()
+        from repro.obs import provenance
+
+        run_key = (17, ("drain",), provenance.git_sha())
+        drained = _load_checkpoint(checkpoint, run_key)
+        assert drained  # the fast trials were saved, not wasted
+        for index, value in drained.items():
+            assert value == expected[index]
+        resumed = ParallelTrialRunner(2, checkpoint=checkpoint).map_trials(
+            task, seed=17, labels=("drain",), trials=6
+        )
+        assert resumed == expected
+
+
+class TestAppendDegradation:
+    """ENOSPC/EIO on the checkpoint journal: one warning, in-memory
+    continuation, self-clearing degraded flag (never an exception)."""
+
+    def _fail_writes_to(self, monkeypatch, path):
+        import errno
+
+        real_write = os.write
+
+        def failing_write(fd, data):
+            try:
+                target = os.readlink(f"/proc/self/fd/{fd}")
+            except OSError:
+                target = ""
+            if target == path:
+                raise OSError(errno.ENOSPC, "No space left on device")
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", failing_write)
+
+    def test_full_disk_degrades_to_one_warning_and_recovers(
+        self, tmp_path, monkeypatch, caplog
+    ):
+        from repro.core.parallel import checkpoint_degraded
+
+        checkpoint = str(tmp_path / "journal.pkl")
+        self._fail_writes_to(monkeypatch, checkpoint)
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            results = ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+                draw_uniform, seed=19, labels=("enospc",), trials=5
+            )
+        # The run itself is unharmed; only durability degraded.
+        assert results == [make_rng(19, "enospc", i).random() for i in range(5)]
+        assert checkpoint_degraded(checkpoint)
+        warned = [
+            record for record in caplog.records if "write failed" in record.message
+        ]
+        assert len(warned) == 1  # five failing appends, one warning
+        monkeypatch.undo()
+        # The disk "recovers": the next run journals again and the
+        # degraded flag self-clears -- the journal is self-stabilizing.
+        again = ParallelTrialRunner(1, checkpoint=checkpoint).map_trials(
+            draw_uniform, seed=19, labels=("enospc",), trials=5
+        )
+        assert again == results
+        assert not checkpoint_degraded(checkpoint)
+        from repro.obs import provenance
+
+        run_key = (19, ("enospc",), provenance.git_sha())
+        assert _load_checkpoint(checkpoint, run_key) == dict(enumerate(results))

@@ -1,0 +1,263 @@
+"""Tests for the HTTP API (:mod:`repro.service.api`).
+
+A real server on an ephemeral port, driven through the blocking client
+(:mod:`repro.service.client`) -- the same pairing ``repro submit`` and
+the CI smoke use, so client and server are tested as one contract.
+"""
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service import client
+from repro.service.api import serve
+
+
+class ServerFixture:
+    """One service instance on its own event-loop thread."""
+
+    def __init__(self, root, **kwargs):
+        self.root = str(root)
+        self.kwargs = kwargs
+        self.base_url = None
+        self._thread = None
+        self._loop = None
+        self._task = None
+
+    def start(self):
+        ready = threading.Event()
+        box = []
+
+        def run_loop():
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            aready = asyncio.Event()
+
+            async def main():
+                self._task = self._loop.create_task(
+                    serve(host="127.0.0.1", port=0, store_root=self.root,
+                          ledger_path=f"{self.root}/ledger.jsonl",
+                          ready=aready, server_box=box, **self.kwargs)
+                )
+                await aready.wait()
+                ready.set()
+                try:
+                    await self._task
+                except asyncio.CancelledError:
+                    pass
+
+            self._loop.run_until_complete(main())
+            self._loop.close()
+
+        self._thread = threading.Thread(target=run_loop, daemon=True)
+        self._thread.start()
+        assert ready.wait(15), "server did not come up"
+        server = box[0]
+        self.base_url = f"http://{server.host}:{server.port}"
+        return self
+
+    def stop(self):
+        if self._loop is not None and self._task is not None:
+            self._loop.call_soon_threadsafe(self._task.cancel)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def server(tmp_path):
+    fixture = ServerFixture(tmp_path / "service").start()
+    yield fixture
+    fixture.stop()
+
+
+SMALL_CHAOS = {"protocols": ["ciw"], "ns": [8], "trials": 1, "seed": 5}
+
+
+class TestRoutes:
+    def test_healthz_reports_ok(self, server):
+        health = client.get_health(server.base_url)
+        assert health["status"] == "ok"
+        assert health["degraded_reasons"] == []
+        assert health["queue_depth"] == 0
+        assert "version" in health
+
+    def test_submit_accepted_then_done(self, server):
+        document = client.submit_job(server.base_url, "chaos", SMALL_CHAOS)
+        assert document["state"] in ("queued", "running", "done")
+        assert document["id"].startswith("job-")
+        final = client.wait_for_job(server.base_url, document["id"], timeout=120)
+        assert final["state"] == "done"
+        assert final["ok"] is True
+        result = client.get_result(server.base_url, document["id"])
+        assert result["result"]["cells"][0]["protocol"] == "ciw"
+
+    def test_duplicate_submission_returns_same_job(self, server):
+        first = client.submit_job(server.base_url, "chaos", SMALL_CHAOS)
+        shuffled = {"seed": 5, "trials": 1, "ns": [8], "protocols": ["ciw"]}
+        second = client.submit_job(server.base_url, "chaos", shuffled)
+        assert second["id"] == first["id"]
+
+    def test_validation_error_is_400(self, server):
+        with pytest.raises(client.ServiceClientError) as info:
+            client.submit_job(server.base_url, "chaos", {"protocols": ["nope"]})
+        assert info.value.status == 400
+        assert "unknown protocol" in str(info.value)
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(client.ServiceClientError) as info:
+            client.get_job(server.base_url, "job-doesnotexist")
+        assert info.value.status == 404
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(client.ServiceClientError) as info:
+            client._request(server.base_url, "/nope")
+        assert info.value.status == 404
+
+    def test_result_before_done_is_404(self, server):
+        with pytest.raises(client.ServiceClientError) as info:
+            client.get_result(server.base_url, "job-doesnotexist")
+        assert info.value.status == 404
+
+    def test_malformed_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.base_url + "/jobs",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_job_listing(self, server):
+        client.submit_job(server.base_url, "chaos", SMALL_CHAOS)
+        listing = client._request(server.base_url, "/jobs")
+        assert len(listing["jobs"]) == 1
+        assert "counts" in listing
+
+
+class TestAdmissionControl:
+    def test_full_queue_answers_429_with_retry_after(self, tmp_path):
+        # A tiny queue and a job timeout keep this test fast: the point
+        # is the 429, not the jobs.
+        fixture = ServerFixture(tmp_path / "svc", max_queue=1).start()
+        try:
+            # Fill the queue faster than the worker drains it.
+            seeds = iter(range(100))
+            saw_429 = None
+            for _ in range(20):
+                try:
+                    client.submit_job(
+                        fixture.base_url, "chaos",
+                        {**SMALL_CHAOS, "seed": next(seeds)},
+                    )
+                except client.QueueFullError as exc:
+                    saw_429 = exc
+                    break
+            assert saw_429 is not None, "queue never filled"
+            assert saw_429.retry_after >= 1.0
+        finally:
+            fixture.stop()
+
+
+class TestEventStream:
+    def test_sse_replays_and_terminates(self, server):
+        document = client.submit_job(server.base_url, "chaos", SMALL_CHAOS)
+        client.wait_for_job(server.base_url, document["id"], timeout=120)
+        events = list(
+            client.iter_events(server.base_url, document["id"], timeout=30)
+        )
+        kinds = [event.get("type") for event in events]
+        assert "state" in kinds  # lifecycle transitions present
+        states = [event["state"] for event in events
+                  if event.get("type") == "state"]
+        assert states[-1] == "done"
+        # Recorder events from the simulation rode along.
+        recorder_kinds = {event.get("kind") for event in events
+                          if event.get("type") == "event"}
+        assert "checkpoint-write" in recorder_kinds
+
+    def test_sse_content_type(self, server):
+        document = client.submit_job(server.base_url, "chaos", SMALL_CHAOS)
+        client.wait_for_job(server.base_url, document["id"], timeout=120)
+        url = server.base_url + f"/jobs/{document['id']}/events"
+        with urllib.request.urlopen(url, timeout=30) as response:
+            assert response.headers["Content-Type"] == "text/event-stream"
+
+
+class TestHealthDegradation:
+    def test_degraded_journal_flips_healthz(self, tmp_path, monkeypatch):
+        """A failing job journal reports degraded (compute-only) health
+        instead of killing the service."""
+        import errno
+        import os
+
+        fixture = ServerFixture(tmp_path / "svc").start()
+        try:
+            journal = str(tmp_path / "svc" / "jobs.jsonl")
+            real_write = os.write
+
+            def failing_write(fd, data):
+                try:
+                    target = os.readlink(f"/proc/self/fd/{fd}")
+                except OSError:
+                    target = ""
+                if target == journal:
+                    raise OSError(errno.ENOSPC, "No space left on device")
+                return real_write(fd, data)
+
+            monkeypatch.setattr(os, "write", failing_write)
+            document = client.submit_job(
+                fixture.base_url, "chaos", SMALL_CHAOS
+            )
+            final = client.wait_for_job(
+                fixture.base_url, document["id"], timeout=120
+            )
+            # The job still completed -- compute survives the bad disk.
+            assert final["state"] == "done"
+            health = client.get_health(fixture.base_url)
+            assert health["status"] == "degraded"
+            assert any("journal" in reason
+                       for reason in health["degraded_reasons"])
+            monkeypatch.undo()
+            # The next successful append self-clears the degradation.
+            second = client.submit_job(
+                fixture.base_url, "chaos", {**SMALL_CHAOS, "seed": 6}
+            )
+            client.wait_for_job(fixture.base_url, second["id"], timeout=120)
+            health = client.get_health(fixture.base_url)
+            assert health["status"] == "ok"
+        finally:
+            fixture.stop()
+
+    def test_unrelated_degraded_paths_do_not_flip_healthz(self, tmp_path):
+        """Health reflects the service's own write paths: a degraded
+        ledger elsewhere in the process (a CLI run, another test) is not
+        this server's problem."""
+        from repro.obs.ledger import atomic_append_line, degraded_paths
+
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        foreign = str(blocker / "ledger.jsonl")  # parent is a file
+        assert atomic_append_line(foreign, "{}", label="ledger") is False
+        assert foreign in degraded_paths()
+
+        fixture = ServerFixture(tmp_path / "svc").start()
+        try:
+            health = client.get_health(fixture.base_url)
+            assert health["status"] == "ok"
+            assert health["degraded_reasons"] == []
+        finally:
+            fixture.stop()
+
+
+class TestJsonResponses:
+    def test_responses_are_json_with_length(self, server):
+        with urllib.request.urlopen(server.base_url + "/healthz", timeout=10) as r:
+            assert r.headers["Content-Type"] == "application/json"
+            body = r.read()
+            assert len(body) == int(r.headers["Content-Length"])
+            json.loads(body)

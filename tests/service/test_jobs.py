@@ -1,0 +1,345 @@
+"""Tests for job specs and the manager (:mod:`repro.service.jobs`).
+
+Contracts: payload validation is strict and canonicalization is
+order-insensitive, the cache key is the provenance triple, submission is
+idempotent, admission control bounds the queue, retryable failures back
+off under a budget while deterministic errors fail fast, and journaled
+jobs are re-admitted on restart.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.jobs import (
+    AdmissionError,
+    JobManager,
+    JobSpec,
+    JobValidationError,
+)
+from repro.service.store import JobStore
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobValidationError, match="kind"):
+            JobSpec.from_payload({"kind": "deploy", "spec": {}})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(JobValidationError, match="JSON object"):
+            JobSpec.from_payload([1, 2, 3])
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown parameter"):
+            JobSpec.from_payload({"kind": "chaos", "spec": {"speed": 11}})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(JobValidationError, match="must be"):
+            JobSpec.from_payload({"kind": "chaos", "spec": {"trials": "three"}})
+
+    def test_boolean_is_not_an_int(self):
+        with pytest.raises(JobValidationError, match="boolean"):
+            JobSpec.from_payload({"kind": "chaos", "spec": {"seed": True}})
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown experiment"):
+            JobSpec.from_payload({"kind": "run", "spec": {"experiment": "table9"}})
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown protocol"):
+            JobSpec.from_payload({"kind": "chaos", "spec": {"protocols": ["nope"]}})
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(JobValidationError, match="unknown adversary"):
+            JobSpec.from_payload({"kind": "chaos", "spec": {"adversary": "gremlin"}})
+
+    def test_bench_requires_suite(self):
+        with pytest.raises(JobValidationError, match="suite"):
+            JobSpec.from_payload({"kind": "bench", "spec": {}})
+
+    def test_defaults_applied(self):
+        spec = JobSpec.from_payload({"kind": "chaos", "spec": {}})
+        assert spec.params["trials"] == 3
+        assert spec.params["protocols"] == ["ciw", "optimal-silent"]
+        assert spec.seed == spec.params["seed"]
+
+
+class TestCacheKey:
+    def test_key_order_insensitive(self):
+        a = JobSpec.from_payload(
+            {"kind": "chaos", "spec": {"ns": [16], "trials": 2}}
+        )
+        b = JobSpec.from_payload(
+            {"kind": "chaos", "spec": {"trials": 2, "ns": [16]}}
+        )
+        assert a.cache_key("sha") == b.cache_key("sha")
+
+    def test_explicit_defaults_share_identity(self):
+        a = JobSpec.from_payload({"kind": "chaos", "spec": {}})
+        b = JobSpec.from_payload({"kind": "chaos", "spec": {"trials": 3}})
+        assert a.cache_key("sha") == b.cache_key("sha")
+
+    def test_seed_and_sha_change_identity(self):
+        a = JobSpec.from_payload({"kind": "chaos", "spec": {"seed": 1}})
+        b = JobSpec.from_payload({"kind": "chaos", "spec": {"seed": 2}})
+        assert a.cache_key("sha") != b.cache_key("sha")
+        assert a.cache_key("sha-one") != a.cache_key("sha-two")
+
+
+class TestManager:
+    def _payload(self, **spec):
+        return {"kind": "chaos",
+                "spec": {"protocols": ["ciw"], "ns": [8], "trials": 1, **spec}}
+
+    def test_submit_is_idempotent(self, tmp_path):
+        async def body():
+            manager = JobManager(JobStore(str(tmp_path)))
+            job, created = manager.submit(self._payload())
+            dup, dup_created = manager.submit(self._payload())
+            assert created and not dup_created
+            assert dup is job
+            return True
+
+        assert run(body())
+
+    def test_admission_control_raises_with_retry_after(self, tmp_path):
+        async def body():
+            manager = JobManager(JobStore(str(tmp_path)), max_queue=2)
+            manager.submit(self._payload(seed=1))
+            manager.submit(self._payload(seed=2))
+            with pytest.raises(AdmissionError) as info:
+                manager.submit(self._payload(seed=3))
+            assert info.value.retry_after >= 1.0
+            return True
+
+        assert run(body())
+
+    def test_invalid_payload_never_queued(self, tmp_path):
+        async def body():
+            manager = JobManager(JobStore(str(tmp_path)))
+            with pytest.raises(JobValidationError):
+                manager.submit({"kind": "chaos", "spec": {"trials": 0}})
+            assert manager.queue_depth() == 0
+            return True
+
+        assert run(body())
+
+    def test_retryable_failure_backs_off_then_fails_at_budget(
+        self, tmp_path, monkeypatch
+    ):
+        """PoolExhaustedError retries with backoff under the budget;
+        exhausting it turns the job terminal with the retry history
+        journaled."""
+        from repro.core.parallel import PoolExhaustedError
+        from repro.service import jobs as jobs_mod
+
+        calls = []
+
+        def always_exhausted(spec, *, checkpoint=None, recorder=None):
+            calls.append(1)
+            raise PoolExhaustedError([0, 1], rounds=3)
+
+        monkeypatch.setattr(jobs_mod, "execute_spec", always_exhausted)
+
+        async def body():
+            store = JobStore(str(tmp_path))
+            manager = JobManager(
+                store, retry_budget=3, backoff_base=0.01, backoff_cap=0.05
+            )
+            await manager.start()
+            try:
+                job, _ = manager.submit(self._payload())
+                for _ in range(400):
+                    if job.terminal:
+                        break
+                    await asyncio.sleep(0.02)
+                assert job.state == "failed"
+                assert "retry budget exhausted" in job.error
+                assert len(calls) == 3
+            finally:
+                await manager.stop()
+            states = [record["state"] for record in store.iter_journal()
+                      if record.get("job") == job.id]
+            assert states.count("retrying") == 2
+            assert states[-1] == "failed"
+            return True
+
+        assert run(body())
+
+    def test_deterministic_error_fails_fast_no_retry(self, tmp_path, monkeypatch):
+        from repro.service import jobs as jobs_mod
+
+        calls = []
+
+        def always_boom(spec, *, checkpoint=None, recorder=None):
+            calls.append(1)
+            raise ValueError("task bug")
+
+        monkeypatch.setattr(jobs_mod, "execute_spec", always_boom)
+
+        async def body():
+            manager = JobManager(JobStore(str(tmp_path)), retry_budget=3)
+            await manager.start()
+            try:
+                job, _ = manager.submit(self._payload())
+                for _ in range(200):
+                    if job.terminal:
+                        break
+                    await asyncio.sleep(0.02)
+                assert job.state == "failed"
+                assert "ValueError" in job.error
+                assert len(calls) == 1  # no retry for a deterministic bug
+            finally:
+                await manager.stop()
+            return True
+
+        assert run(body())
+
+    def test_job_timeout_fails_the_job(self, tmp_path, monkeypatch):
+        import time as time_mod
+
+        from repro.service import jobs as jobs_mod
+
+        def slow(spec, *, checkpoint=None, recorder=None):
+            time_mod.sleep(5)
+            return {"ok": True, "result": {}}
+
+        monkeypatch.setattr(jobs_mod, "execute_spec", slow)
+
+        async def body():
+            manager = JobManager(JobStore(str(tmp_path)), job_timeout=0.2)
+            await manager.start()
+            try:
+                job, _ = manager.submit(self._payload())
+                for _ in range(200):
+                    if job.terminal:
+                        break
+                    await asyncio.sleep(0.05)
+                assert job.state == "failed"
+                assert "timeout" in job.error
+            finally:
+                await manager.stop()
+            return True
+
+        assert run(body())
+
+
+class TestRecovery:
+    def _payload(self, **spec):
+        return {"kind": "chaos",
+                "spec": {"protocols": ["ciw"], "ns": [8], "trials": 1, **spec}}
+
+    def test_live_jobs_readmitted_on_restart(self, tmp_path, monkeypatch):
+        """A journal holding queued/running jobs re-enters them on
+        start(); terminal jobs come back as history, not work."""
+        from repro.service import jobs as jobs_mod
+
+        executed = []
+
+        def fake_execute(spec, *, checkpoint=None, recorder=None):
+            executed.append(spec.params["seed"])
+            return {"ok": True, "result": {"seed": spec.params["seed"]}}
+
+        monkeypatch.setattr(jobs_mod, "execute_spec", fake_execute)
+
+        async def first_life():
+            store = JobStore(str(tmp_path))
+            manager = JobManager(store)
+            # Journal two live jobs and one terminal one by hand, as a
+            # crashed process would have left them.
+            for seed, state in ((1, "queued"), (2, "running")):
+                spec = JobSpec.from_payload(self._payload(seed=seed))
+                key = spec.cache_key()
+                store.append({"job": f"job-{key[:16]}", "state": "queued",
+                              "payload": {"kind": spec.kind, "spec": spec.params},
+                              "cache_key": key, "ts": 0.0})
+                if state == "running":
+                    store.append({"job": f"job-{key[:16]}", "state": "running",
+                                  "attempt": 1, "ts": 1.0})
+            spec = JobSpec.from_payload(self._payload(seed=3))
+            key = spec.cache_key()
+            store.append({"job": f"job-{key[:16]}", "state": "queued",
+                          "payload": {"kind": spec.kind, "spec": spec.params},
+                          "cache_key": key, "ts": 0.0})
+            store.append({"job": f"job-{key[:16]}", "state": "failed",
+                          "error": "old", "ts": 1.0})
+            return manager
+
+        async def second_life():
+            store = JobStore(str(tmp_path))
+            manager = JobManager(store)
+            recovered = await manager.start()
+            try:
+                assert recovered == 2  # both live jobs, not the failed one
+                live = [job for job in manager.jobs.values()
+                        if not job.terminal]
+                for _ in range(400):
+                    if all(job.terminal for job in manager.jobs.values()):
+                        break
+                    await asyncio.sleep(0.02)
+                assert sorted(executed) == [1, 2]
+                assert all(job.state == "done" for job in live)
+                # The failed job is visible as history.
+                failed = [job for job in manager.jobs.values()
+                          if job.state == "failed"]
+                assert len(failed) == 1
+            finally:
+                await manager.stop()
+            return True
+
+        run(first_life())
+        assert run(second_life())
+
+    def test_completed_job_served_from_cache_zero_executions(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance criterion's dedupe half: a duplicate
+        (spec, seed, sha) submission after restart is served from the
+        result cache without executing anything."""
+        from repro.service import jobs as jobs_mod
+
+        executed = []
+
+        def fake_execute(spec, *, checkpoint=None, recorder=None):
+            executed.append(1)
+            if recorder is not None:
+                recorder.event("trial-ran")
+            return {"ok": True, "result": {"value": 42}}
+
+        monkeypatch.setattr(jobs_mod, "execute_spec", fake_execute)
+
+        async def first_life():
+            manager = JobManager(JobStore(str(tmp_path)))
+            await manager.start()
+            try:
+                job, _ = manager.submit(self._payload(seed=9))
+                for _ in range(200):
+                    if job.terminal:
+                        break
+                    await asyncio.sleep(0.02)
+                assert job.state == "done"
+                assert job.event_counts.get("trial-ran") == 1
+            finally:
+                await manager.stop()
+
+        async def second_life():
+            manager = JobManager(JobStore(str(tmp_path)))
+            await manager.start()
+            try:
+                job, created = manager.submit(self._payload(seed=9))
+                # Recovered as terminal history: not even re-queued.
+                assert not created
+                assert job.state == "done"
+                assert job.result["result"] == {"value": 42}
+            finally:
+                await manager.stop()
+            return True
+
+        run(first_life())
+        count_after_first = len(executed)
+        assert run(second_life())
+        assert len(executed) == count_after_first  # zero new executions

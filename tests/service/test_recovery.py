@@ -1,0 +1,193 @@
+"""Crash-recovery proof for the service (the PR's acceptance criterion).
+
+A real ``repro serve`` subprocess is killed with SIGKILL mid-job; a
+restarted server must re-admit the job from the journal, resume the
+sweep from the trial checkpoint (recomputing only the missing trials),
+and produce a result *bit-identical* to the direct CLI path.  A
+duplicate ``(spec, seed, sha)`` submission afterwards must be served
+from the result cache with zero trial executions.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import client
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+#: Multi-trial sweep: long enough that SIGKILL reliably lands mid-run,
+#: small enough to finish quickly on resume.
+JOB_SPEC = {"protocols": ["ciw"], "ns": [16], "trials": 8, "seed": 101}
+TRIALS = JOB_SPEC["trials"]
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _start_server(port, store_root, ledger_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(port),
+            "--store", store_root,
+            "--ledger", ledger_path,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    base_url = f"http://127.0.0.1:{port}"
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(f"server died on startup: rc={process.returncode}")
+        try:
+            client.get_health(base_url, timeout=2)
+            return process, base_url
+        except OSError:
+            time.sleep(0.1)
+    process.kill()
+    raise RuntimeError("server did not come up within 30s")
+
+
+@pytest.mark.slow
+def test_kill9_resume_bit_identical_and_cached(tmp_path):
+    store_root = str(tmp_path / "service")
+    ledger_path = str(tmp_path / "ledger.jsonl")
+    port = _free_port()
+
+    # -- first life: submit, wait for the first checkpointed trial, kill -9
+    process, base_url = _start_server(port, store_root, ledger_path)
+    try:
+        document = client.submit_job(base_url, "chaos", JOB_SPEC)
+        job_id = document["id"]
+        checkpoint = os.path.join(store_root, "checkpoints", f"{job_id}.pkl")
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if os.path.exists(checkpoint) and os.path.getsize(checkpoint) > 0:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("no trial reached the checkpoint journal in time")
+    finally:
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+
+    # Appends are single os.write calls, so whatever the kill left
+    # behind is whole records: at least one trial survived the crash.
+    killed_size = os.path.getsize(checkpoint)
+    assert killed_size > 0
+
+    # -- second life: the journal re-admits the job, the checkpoint
+    # resumes the sweep, and the job completes.
+    process, base_url = _start_server(port, store_root, ledger_path)
+    try:
+        recovered = client.get_job(base_url, job_id)
+        assert recovered["state"] in ("queued", "running", "retrying", "done")
+        final = client.wait_for_job(base_url, job_id, timeout=300)
+        assert final["state"] == "done"
+        assert final["ok"] is True
+        result = client.get_result(base_url, job_id)
+
+        # Resume recomputed only the missing trials: the second life
+        # journaled strictly fewer trials than the sweep holds.
+        resumed_writes = final["event_counts"]["checkpoint-write"]
+        assert 0 < resumed_writes < TRIALS
+
+        # Bit-identical to the direct (uninterrupted) CLI path.
+        sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+        try:
+            from repro.experiments.chaos import run_chaos
+        finally:
+            sys.path.pop(0)
+        direct = run_chaos(
+            protocols=JOB_SPEC["protocols"],
+            ns=JOB_SPEC["ns"],
+            trials=JOB_SPEC["trials"],
+            seed=JOB_SPEC["seed"],
+        )
+        assert json.dumps(result["result"], sort_keys=True) == json.dumps(
+            direct.to_json(), sort_keys=True
+        )
+
+        # -- dedupe half of the criterion: an identical submission is
+        # served from the result cache with zero trial executions.
+        journal = os.path.join(store_root, "jobs.jsonl")
+        running_before = _count_running(journal, job_id)
+        checkpoint_size_before = os.path.getsize(checkpoint)
+        duplicate = client.submit_job(base_url, "chaos", dict(JOB_SPEC))
+        assert duplicate["id"] == job_id
+        assert duplicate["state"] == "done"
+        # No new execution: no new running transition, no new trial
+        # journaled, and the served document still carries the resumed
+        # run's event counts.
+        assert _count_running(journal, job_id) == running_before
+        assert os.path.getsize(checkpoint) == checkpoint_size_before
+        served = client.get_result(base_url, job_id)
+        assert served == result
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=15)
+
+
+def _count_running(journal_path, job_id):
+    count = 0
+    with open(journal_path, encoding="utf8") as handle:
+        for line in handle:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if record.get("job") == job_id and record.get("state") == "running":
+                count += 1
+    return count
+
+
+@pytest.mark.slow
+def test_restart_after_clean_completion_serves_cache(tmp_path):
+    """A restarted server serves a previously completed job from the
+    result cache: recovery covers terminal history, not just live work."""
+    store_root = str(tmp_path / "service")
+    ledger_path = str(tmp_path / "ledger.jsonl")
+    port = _free_port()
+    spec = {"protocols": ["ciw"], "ns": [8], "trials": 2, "seed": 33}
+
+    process, base_url = _start_server(port, store_root, ledger_path)
+    try:
+        document = client.submit_job(base_url, "chaos", spec)
+        final = client.wait_for_job(base_url, document["id"], timeout=300)
+        assert final["state"] == "done"
+        result = client.get_result(base_url, document["id"])
+    finally:
+        process.terminate()
+        process.wait(timeout=15)
+
+    process, base_url = _start_server(port, store_root, ledger_path)
+    try:
+        recovered = client.get_job(base_url, document["id"])
+        assert recovered["state"] == "done"
+        assert client.get_result(base_url, document["id"]) == result
+        # Resubmission is answered instantly from history.
+        duplicate = client.submit_job(base_url, "chaos", dict(spec))
+        assert duplicate["id"] == document["id"]
+        assert duplicate["state"] == "done"
+    finally:
+        process.terminate()
+        process.wait(timeout=15)

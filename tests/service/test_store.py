@@ -1,0 +1,125 @@
+"""Tests for the durable job store (:mod:`repro.service.store`).
+
+Contracts: journal appends are atomic lines that fold back into per-job
+state oldest-first, a torn tail never corrupts recovery, result-cache
+publication is atomic, and every write path degrades instead of raising.
+"""
+
+import json
+import os
+
+from repro.service.store import JOURNAL_SCHEMA_VERSION, JobStore
+
+
+class TestJournal:
+    def test_append_stamps_schema_version(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        assert store.append({"job": "job-a", "state": "queued"})
+        record = next(store.iter_journal())
+        assert record["journal_version"] == JOURNAL_SCHEMA_VERSION
+        assert record["state"] == "queued"
+
+    def test_recover_folds_transitions_last_state_wins(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.append({"job": "job-a", "state": "queued",
+                      "payload": {"kind": "chaos", "spec": {}}})
+        store.append({"job": "job-a", "state": "running", "attempt": 1})
+        store.append({"job": "job-b", "state": "queued"})
+        store.append({"job": "job-a", "state": "done", "wall_seconds": 1.5})
+        recovered = store.recover()
+        assert recovered["job-a"]["state"] == "done"
+        assert recovered["job-a"]["attempt"] == 1  # earlier fields persist
+        assert recovered["job-a"]["payload"] == {"kind": "chaos", "spec": {}}
+        assert recovered["job-b"]["state"] == "queued"
+
+    def test_torn_tail_skipped_not_fatal(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.append({"job": "job-a", "state": "queued"})
+        with open(store.journal_path, "a", encoding="utf8") as handle:
+            handle.write('{"job": "job-b", "state": "que')  # kill -9 mid-append
+        # The torn line is lost; the healthy record and all later
+        # appends (healed by the newline repair) survive.
+        store.append({"job": "job-c", "state": "queued"})
+        recovered = store.recover()
+        assert set(recovered) == {"job-a", "job-c"}
+
+    def test_unserializable_record_degrades(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        loop = []
+        loop.append(loop)
+        assert store.append({"job": "job-a", "bad": loop}) is False
+        assert not os.path.exists(store.journal_path)
+
+
+class TestResultCache:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        document = {"cache_key": "k" * 64, "ok": True, "result": {"cells": [1, 2]}}
+        assert store.write_result("k" * 64, document)
+        assert store.load_result("k" * 64) == document
+
+    def test_missing_result_is_none(self, tmp_path):
+        assert JobStore(str(tmp_path)).load_result("absent" * 10) is None
+
+    def test_publication_is_atomic_no_temp_residue(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.write_result("a" * 64, {"ok": True})
+        names = os.listdir(store.results_dir)
+        assert names == [f"{'a' * 64}.json"]
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        with open(store.result_path("b" * 64), "w", encoding="utf8") as handle:
+            handle.write("{half a json docum")
+        assert store.load_result("b" * 64) is None
+
+    def test_unserializable_result_flips_degraded(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        loop = []
+        loop.append(loop)
+        assert store.write_result("c" * 64, {"bad": loop}) is False
+        assert store.degraded
+        assert any("result-cache" in reason for reason in store.degraded_reasons())
+        # A later good write self-clears the flag.
+        assert store.write_result("c" * 64, {"ok": True})
+        assert not store.degraded
+
+
+class TestDegradedReporting:
+    def test_journal_failure_reported_and_self_clears(self, tmp_path, monkeypatch):
+        import errno
+
+        store = JobStore(str(tmp_path))
+        real_write = os.write
+
+        def failing_write(fd, data):
+            try:
+                target = os.readlink(f"/proc/self/fd/{fd}")
+            except OSError:
+                target = ""
+            if target == store.journal_path:
+                raise OSError(errno.ENOSPC, "No space left on device")
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", failing_write)
+        assert store.append({"job": "job-a", "state": "queued"}) is False
+        assert store.degraded
+        assert any("journal" in reason for reason in store.degraded_reasons())
+        monkeypatch.undo()
+        assert store.append({"job": "job-a", "state": "queued"})
+        assert not store.degraded
+
+    def test_checkpoint_paths_are_per_job(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        assert store.checkpoint_path("job-a") != store.checkpoint_path("job-b")
+        assert store.checkpoint_path("job-a").endswith("job-a.pkl")
+
+
+class TestJournalIsJsonl:
+    def test_every_line_parses_standalone(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        for index in range(5):
+            store.append({"job": f"job-{index}", "state": "queued"})
+        with open(store.journal_path, encoding="utf8") as handle:
+            for line in handle:
+                json.loads(line)
