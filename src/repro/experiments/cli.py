@@ -507,8 +507,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=16,
         metavar="N",
-        help="bounded queue depth; a full queue answers 429 + Retry-After "
-        "(default: 16)",
+        help="bounded queue capacity in admission-weight units (quick runs "
+        "cost 1, bench suites and large chaos sweeps more); a full queue "
+        "answers 429 + Retry-After (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent jobs: one worker loop per slot over the priority "
+        "queue; per-job recorder contexts keep event streams disjoint "
+        "(default: 1)",
     )
     serve_parser.add_argument(
         "--job-timeout",
@@ -554,6 +564,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'{\"protocols\": [\"ciw\"], \"ns\": [16], \"trials\": 2}'",
     )
     submit_parser.add_argument(
+        "--priority",
+        type=int,
+        default=None,
+        metavar="P",
+        help="dequeue priority (higher runs first, FIFO within a priority; "
+        "does not change the job's cache identity)",
+    )
+    submit_parser.add_argument(
         "--wait",
         action="store_true",
         help="poll until the job reaches a terminal state; exit non-zero "
@@ -577,6 +595,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         dest="result_path",
         help="with --wait: write the full result document to PATH",
+    )
+
+    cancel_parser = sub.add_parser(
+        "cancel",
+        help="cancel a submitted job (queued: instant; running: unwinds at "
+        "its next recorder hook, checkpoint preserved)",
+    )
+    cancel_parser.add_argument("job_id", help="the job id (job-<key16>)")
+    cancel_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="service base URL (default: http://127.0.0.1:8642)",
     )
     return parser
 
@@ -722,6 +752,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "submit":
         return _cmd_submit(args)
 
+    if args.command == "cancel":
+        return _cmd_cancel(args)
+
     if args.command == "chaos":
         # Imported lazily: the sweep pulls in the chaos + count machinery.
         from repro.experiments.chaos import run_chaos, write_json
@@ -826,6 +859,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 store_root=args.store,
                 max_queue=args.max_queue,
+                concurrency=args.jobs,
                 job_timeout=args.job_timeout,
                 retry_budget=args.retry_budget,
                 ledger_path=_ledger_path(args),
@@ -851,6 +885,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if not isinstance(spec, dict):
         print("submit: --spec must be a JSON object", file=sys.stderr)
         return 2
+    if args.priority is not None:
+        spec.setdefault("priority", args.priority)
     try:
         document = client.submit_job(args.url, args.kind, spec)
     except client.QueueFullError as exc:
@@ -880,6 +916,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except TimeoutError as exc:
         print(f"submit: {exc}", file=sys.stderr)
         return 1
+    if document.get("state") == "cancelled":
+        print(f"submit: job {job_id} was cancelled", file=sys.stderr)
     print(json_mod.dumps(document, indent=2, sort_keys=True))
     if args.result_path and document.get("state") == "done":
         result = client.get_result(args.url, job_id)
@@ -888,6 +926,24 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"submit: wrote result to {args.result_path}")
     return 0 if document.get("state") == "done" and document.get("ok") is not False else 1
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    """``repro cancel``: cancel one job on a running service."""
+    import json as json_mod
+
+    from repro.service import client
+
+    try:
+        document = client.cancel_job(args.url, args.job_id)
+    except client.ServiceClientError as exc:
+        print(f"cancel: {exc}", file=sys.stderr)
+        return 1 if exc.status == 409 else 2
+    except OSError as exc:
+        print(f"cancel: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 2
+    print(json_mod.dumps(document, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:

@@ -13,7 +13,18 @@ every engine (:class:`~repro.core.simulation.Simulation`,
 The default is ``None`` -- no recorder, no hooks, unchanged hot paths.
 An explicit ``recorder=`` argument always beats the ambient one.
 
-The context is process-local by design: worker processes spawned by the
+The context is a :class:`contextvars.ContextVar`, not a module global,
+so the ambient recorder is scoped to the current execution context:
+each asyncio task and each thread that installs a recorder sees its
+own, and two jobs interleaving on a shared event loop (or running in
+sibling executor threads) can never cross-wire their metrics streams.
+Callers that hop an execution onto another thread and want the ambient
+recorder to travel with it should wrap the call in
+``contextvars.copy_context().run(...)`` -- the pattern
+:meth:`repro.service.jobs.JobManager._execute` uses around
+``run_in_executor``.
+
+The context stays process-local: worker processes spawned by the
 parallel runner start with no recorder, so pooled trials run
 uninstrumented while the parent still records runner-level events
 (checkpoint writes, retries, per-trial timing).
@@ -21,27 +32,34 @@ uninstrumented while the parent still records runner-level events
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.obs.metrics import MetricsRecorder
 
-_current: Optional["MetricsRecorder"] = None
+_current: "contextvars.ContextVar[Optional[MetricsRecorder]]" = (
+    contextvars.ContextVar("repro_ambient_recorder", default=None)
+)
 
 
 def current_recorder() -> Optional["MetricsRecorder"]:
-    """The ambient recorder, or ``None`` when observability is off."""
-    return _current
+    """The ambient recorder of this execution context, or ``None``."""
+    return _current.get()
 
 
 @contextmanager
 def recording(recorder: "MetricsRecorder") -> Iterator["MetricsRecorder"]:
-    """Install ``recorder`` as the ambient recorder for the block."""
-    global _current
-    previous = _current
-    _current = recorder
+    """Install ``recorder`` as the ambient recorder for the block.
+
+    Installation is scoped to the current context (task/thread): a
+    concurrent task entering ``recording`` with a different recorder
+    sees only its own, and exiting the block restores whatever this
+    context had before.
+    """
+    token = _current.set(recorder)
     try:
         yield recorder
     finally:
-        _current = previous
+        _current.reset(token)

@@ -29,6 +29,11 @@ Routes
 ``GET /jobs/{id}/result``
     The full result document (404 until the job is ``done``).
 
+``DELETE /jobs/{id}``
+    Cancel a job.  A queued job is journaled ``cancelled`` immediately;
+    a running job unwinds at its next recorder hook with its completed
+    trials preserved in the checkpoint.  ``409`` if already terminal.
+
 ``GET /healthz``
     Liveness plus *degraded-mode* reporting: a failing ledger or job
     journal flips ``status`` to ``degraded`` (computation continues,
@@ -64,6 +69,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -201,6 +207,8 @@ class ServiceServer:
                 return self._get_jobs
             if method == "GET" and len(parts) == 2:
                 return self._make_job_handler(parts[1], self._get_job)
+            if method == "DELETE" and len(parts) == 2:
+                return self._make_job_handler(parts[1], self._delete_job)
             if method == "GET" and len(parts) == 3 and parts[2] == "events":
                 return self._make_job_handler(parts[1], self._get_job_events)
             if method == "GET" and len(parts) == 3 and parts[2] == "result":
@@ -259,6 +267,21 @@ class ServiceServer:
         )
 
     async def _get_job(self, writer: asyncio.StreamWriter, job: Any) -> None:
+        writer.write(_response(200, job.to_document()))
+
+    async def _delete_job(self, writer: asyncio.StreamWriter, job: Any) -> None:
+        """Cancel a job: instant for queued work, cooperative for running."""
+        if job.terminal:
+            writer.write(
+                _response(
+                    409,
+                    {"error": f"job {job.id} is already terminal "
+                              f"(state: {job.state})",
+                     "state": job.state},
+                )
+            )
+            return
+        self.manager.cancel(job.id)
         writer.write(_response(200, job.to_document()))
 
     async def _get_job_result(self, writer: asyncio.StreamWriter, job: Any) -> None:
@@ -321,6 +344,7 @@ class ServiceServer:
                 if record.get("type") == "state" and record.get("state") in (
                     "done",
                     "failed",
+                    "cancelled",
                 ):
                     return
         finally:
@@ -356,6 +380,10 @@ class ServiceServer:
                     ),
                     "queue_depth": self.manager.queue_depth(),
                     "max_queue": self.manager.max_queue,
+                    "concurrency": self.manager.concurrency,
+                    "backlog_weight": self.manager.backlog_weight(
+                        ("queued", "retrying", "running")
+                    ),
                     "jobs": self.manager.counts(),
                 },
             )
@@ -368,6 +396,7 @@ async def serve(
     port: int = 0,
     store_root: str = "reports/service",
     max_queue: int = 16,
+    concurrency: int = 1,
     job_timeout: Optional[float] = None,
     retry_budget: int = 3,
     ledger_path: Optional[str] = None,
@@ -387,6 +416,7 @@ async def serve(
     manager = JobManager(
         store,
         max_queue=max_queue,
+        concurrency=concurrency,
         job_timeout=job_timeout,
         retry_budget=retry_budget,
         ledger_path=ledger_path,
@@ -403,6 +433,7 @@ async def serve(
         port=server.port,
         store_root=store_root,
         max_queue=max_queue,
+        concurrency=concurrency,
     )
     if ready is not None:
         ready.set()

@@ -18,6 +18,7 @@ from typing import Any, Dict, Iterator, Optional
 __all__ = [
     "QueueFullError",
     "ServiceClientError",
+    "cancel_job",
     "get_health",
     "get_job",
     "get_result",
@@ -25,6 +26,9 @@ __all__ = [
     "submit_job",
     "wait_for_job",
 ]
+
+#: Job states after which polling stops.
+TERMINAL_STATES = ("done", "failed", "cancelled")
 
 
 class ServiceClientError(RuntimeError):
@@ -42,6 +46,36 @@ class QueueFullError(ServiceClientError):
     def __init__(self, status: int, body: Dict[str, Any], retry_after: float):
         super().__init__(status, body)
         self.retry_after = retry_after
+
+
+def _parse_retry_after(header: Optional[str], fallback: Any) -> float:
+    """Decode a ``Retry-After`` header into seconds, defensively.
+
+    RFC 9110 allows both delta-seconds and an HTTP-date, and a proxy
+    between us and the service may rewrite one into the other -- a
+    blind ``float()`` here used to raise ``ValueError`` and mask the
+    actual 429.  Unparseable values fall back to the response body's
+    ``retry_after``, then to one second.
+    """
+    if header is not None:
+        try:
+            return max(0.0, float(header))
+        except (TypeError, ValueError):
+            pass
+        try:  # HTTP-date form, e.g. "Fri, 08 Aug 2026 12:00:00 GMT"
+            from datetime import datetime, timezone
+            from email.utils import parsedate_to_datetime
+
+            when = parsedate_to_datetime(header)
+            if when.tzinfo is None:
+                when = when.replace(tzinfo=timezone.utc)
+            return max(0.0, (when - datetime.now(timezone.utc)).total_seconds())
+        except (TypeError, ValueError):
+            pass
+    try:
+        return max(0.0, float(fallback))
+    except (TypeError, ValueError):
+        return 1.0
 
 
 def _request(
@@ -68,8 +102,8 @@ def _request(
         except (json.JSONDecodeError, UnicodeDecodeError):
             body = {"error": str(exc)}
         if exc.code == 429:
-            retry_after = float(
-                exc.headers.get("Retry-After", body.get("retry_after", 1.0))
+            retry_after = _parse_retry_after(
+                exc.headers.get("Retry-After"), body.get("retry_after", 1.0)
             )
             raise QueueFullError(exc.code, body, retry_after) from None
         raise ServiceClientError(exc.code, body) from None
@@ -87,6 +121,15 @@ def submit_job(
 
 def get_job(base_url: str, job_id: str, *, timeout: float = 30.0) -> Dict[str, Any]:
     return _request(base_url, f"/jobs/{job_id}", timeout=timeout)
+
+
+def cancel_job(
+    base_url: str, job_id: str, *, timeout: float = 30.0
+) -> Dict[str, Any]:
+    """DELETE the job; returns its document (409 if already terminal)."""
+    return _request(
+        base_url, f"/jobs/{job_id}", method="DELETE", timeout=timeout
+    )
 
 
 def get_result(base_url: str, job_id: str, *, timeout: float = 30.0) -> Dict[str, Any]:
@@ -108,7 +151,7 @@ def wait_for_job(
     deadline = time.monotonic() + timeout
     while True:
         document = get_job(base_url, job_id)
-        if document.get("state") in ("done", "failed"):
+        if document.get("state") in TERMINAL_STATES:
             return document
         if time.monotonic() >= deadline:
             raise TimeoutError(

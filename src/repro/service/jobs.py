@@ -13,24 +13,44 @@ Identity is the PR-5 provenance triple: a job's ``cache_key`` hashes
 ``(spec, seed, git_sha)``, its id is derived from the key, and the
 result cache is keyed by it -- submitting the same work twice returns
 the same job, and a completed job's result is served from storage with
-zero trial executions.
+zero trial executions.  Scheduling metadata (``priority``) is excluded
+from the hash: it changes *when* a job runs, never *what* it computes.
 
 Robustness model (the paper's thesis applied to infrastructure):
 
-* **Admission control** -- the queue is bounded; a full queue rejects
-  with :class:`AdmissionError` (HTTP 429 + ``Retry-After``) instead of
-  accepting work it cannot finish.
-* **Retry with backoff** -- retryable failures (a broken worker pool
-  surfacing as :class:`~repro.core.parallel.PoolExhaustedError`, a hung
-  trial surfacing as :class:`~repro.core.parallel.TrialTimeoutError`)
-  are retried with exponential backoff and jitter under a retry budget;
-  deterministic task errors fail immediately (rerunning a pure function
-  reproduces the bug, and masking it hides the experiment defect).
+* **Concurrency** -- the manager runs up to ``concurrency`` jobs at
+  once (``repro serve --jobs N``): one worker loop per slot draining a
+  priority queue (higher ``priority`` first, FIFO within a priority).
+  Isolation comes from the context-scoped ambient recorder
+  (:mod:`repro.obs.context`): each job's execution runs in its own
+  ``contextvars`` context, so concurrent jobs can never cross-wire
+  their metrics streams.
+* **Weighted admission control** -- the queue is bounded in *weight*
+  units, not job count: bench suites and large chaos sweeps cost more
+  slots than quick runs.  A full queue rejects with
+  :class:`AdmissionError` (HTTP 429 + ``Retry-After`` computed from the
+  weighted backlog -- queued, retrying *and* running -- times the EMA
+  of job wall time, divided by the worker count) instead of accepting
+  work it cannot finish.
+* **Retry with backoff, without head-of-line blocking** -- retryable
+  failures (a broken worker pool surfacing as
+  :class:`~repro.core.parallel.PoolExhaustedError`, a hung trial
+  surfacing as :class:`~repro.core.parallel.TrialTimeoutError`) are
+  retried under a retry budget; the backoff is a *not-before deadline*
+  that re-queues the job via a timer, so a job in backoff never stalls
+  the jobs queued behind it.  Deterministic task errors fail
+  immediately (rerunning a pure function reproduces the bug, and
+  masking it hides the experiment defect).
+* **Cancellation** -- ``DELETE /jobs/{id}`` journals a terminal
+  ``cancelled`` state.  A queued job is cancelled instantly; a running
+  job unwinds cooperatively at its next recorder hook, with every
+  completed trial already drained to the checkpoint, so resubmitting
+  the same work resumes exactly where the cancel landed.
 * **Crash recovery** -- every state transition is journaled through the
   durable :class:`~repro.service.store.JobStore`; on restart, live jobs
   re-enter the queue and resume mid-sweep from their per-job
   :class:`~repro.core.parallel.ParallelTrialRunner` checkpoint, so a
-  ``kill -9`` costs at most the trial that was in flight.
+  ``kill -9`` costs at most the trials that were in flight.
 * **Graceful degradation** -- journal/ledger/result-cache write
   failures degrade the service to compute-only (reported by
   ``GET /healthz``) rather than crashing it.
@@ -39,9 +59,12 @@ Robustness model (the paper's thesis applied to infrastructure):
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import hashlib
 import json
+import math
 import random
+import threading
 import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
@@ -56,6 +79,7 @@ from repro.service.store import JobStore
 __all__ = [
     "AdmissionError",
     "Job",
+    "JobCancelled",
     "JobManager",
     "JobSpec",
     "JobValidationError",
@@ -86,6 +110,10 @@ class AdmissionError(RuntimeError):
         self.retry_after = retry_after
 
 
+class JobCancelled(RuntimeError):
+    """Raised inside the executing sweep to unwind a cancelled job."""
+
+
 # ---------------------------------------------------------------------------
 # Spec validation
 # ---------------------------------------------------------------------------
@@ -100,6 +128,7 @@ _RUN_PARAMS: Dict[str, Tuple[Tuple[type, ...], Any]] = {
     "quick": ((bool,), True),
     "workers": ((int,), None),
     "engine": ((str,), None),
+    "priority": ((int,), 0),
 }
 
 _CHAOS_PARAMS: Dict[str, Tuple[Tuple[type, ...], Any]] = {
@@ -116,6 +145,7 @@ _CHAOS_PARAMS: Dict[str, Tuple[Tuple[type, ...], Any]] = {
     "engine": ((str,), "auto"),
     "workers": ((int,), None),
     "recovery_budget_factor": ((float, int), 50.0),
+    "priority": ((int,), 0),
 }
 
 _BENCH_PARAMS: Dict[str, Tuple[Tuple[type, ...], Any]] = {
@@ -123,6 +153,7 @@ _BENCH_PARAMS: Dict[str, Tuple[Tuple[type, ...], Any]] = {
     "seed": ((int,), DEFAULT_SEED),
     "repeats": ((int,), None),
     "cells": ((list, tuple), None),
+    "priority": ((int,), 0),
 }
 
 _SCHEMAS = {"run": _RUN_PARAMS, "chaos": _CHAOS_PARAMS, "bench": _BENCH_PARAMS}
@@ -149,9 +180,10 @@ class JobSpec:
     """One validated, canonicalized job specification.
 
     ``params`` holds the defaulted parameters; canonical serialization
-    (sorted keys, ``None`` values dropped) is what the cache key hashes,
-    so two payloads describing the same work -- different key order,
-    explicit defaults -- share an identity.
+    (sorted keys, ``None`` values dropped, scheduling metadata
+    excluded) is what the cache key hashes, so two payloads describing
+    the same work -- different key order, explicit defaults, different
+    priorities -- share an identity.
     """
 
     def __init__(self, kind: str, params: Dict[str, Any]):
@@ -243,9 +275,19 @@ class JobSpec:
                 raise JobValidationError(f"{kind} job: {name!r} must be >= 1")
 
     def canonical(self) -> str:
-        """The canonical JSON form (what the cache key hashes)."""
+        """The canonical JSON form (what the cache key hashes).
+
+        ``priority`` is excluded: it is scheduling metadata that
+        changes *when* a job runs, not *what* it computes, so it must
+        not split the cache identity -- and cache keys minted before
+        priorities existed stay valid.
+        """
+        params = {
+            name: value for name, value in self.params.items()
+            if name != "priority"
+        }
         return json.dumps(
-            {"kind": self.kind, "spec": self.params}, sort_keys=True
+            {"kind": self.kind, "spec": params}, sort_keys=True
         )
 
     def cache_key(self, sha: Optional[str] = None) -> str:
@@ -267,6 +309,31 @@ class JobSpec:
     def seed(self) -> int:
         return int(self.params.get("seed", DEFAULT_SEED))
 
+    @property
+    def priority(self) -> int:
+        """Dequeue priority: higher runs first, FIFO within a priority."""
+        return int(self.params.get("priority", 0))
+
+    @property
+    def weight(self) -> int:
+        """Queue slots this job occupies under weighted admission.
+
+        Quick runs cost one slot; full runs and bench suites cost
+        more; chaos sweeps scale with their cell count
+        (``protocols x ns x trials``), capped at 8 so a single sweep
+        can never monopolize a default-sized queue.
+        """
+        if self.kind == "bench":
+            return 4
+        if self.kind == "run":
+            return 1 if self.params.get("quick", True) else 3
+        cells = (
+            len(self.params["protocols"])
+            * len(self.params["ns"])
+            * int(self.params["trials"])
+        )
+        return max(1, min(8, math.ceil(cells / 8)))
+
 
 # ---------------------------------------------------------------------------
 # Execution (runs inside the executor thread; workers do the trials)
@@ -286,6 +353,10 @@ def execute_spec(
     uses; ``checkpoint`` is the job's durable trial journal, so calling
     this again after a crash recomputes only the missing trials and the
     result is bit-identical to an uninterrupted call.
+
+    The ``recording`` scope is context-local (a ``contextvars``
+    variable, not a process global), so concurrent ``execute_spec``
+    calls in sibling executor threads each see only their own recorder.
     """
     from contextlib import nullcontext
 
@@ -389,6 +460,9 @@ def _execute_bench(spec: JobSpec) -> Dict[str, Any]:
 #: SSE replay buffer size per job (events beyond it age out oldest-first).
 EVENT_BUFFER = 512
 
+#: Job states with no further transitions.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
 
 class Job:
     """One submitted job: spec, lifecycle state and its event stream."""
@@ -404,8 +478,17 @@ class Job:
         self.created_unix = utc_timestamp()
         self.updated_unix = self.created_unix
         self.wall_seconds: Optional[float] = None
+        #: Execution wall time accumulated across attempts -- backoff
+        #: waits are excluded, so the EMA feeding Retry-After measures
+        #: work, not queueing policy.
+        self.exec_seconds = 0.0
         self.result: Optional[Dict[str, Any]] = None
         self.event_counts: Dict[str, int] = {}
+        #: Cancellation: the flag is read on the event loop, the event
+        #: is polled by the executing sweep's recorder hooks.
+        self.cancel_requested = False
+        self.cancel_reason: Optional[str] = None
+        self.cancel_event = threading.Event()
         #: Replay buffer for SSE: (sequence, record) pairs.
         self.events: Deque[Tuple[int, Dict[str, Any]]] = deque(maxlen=EVENT_BUFFER)
         self._event_seq = 0
@@ -413,7 +496,14 @@ class Job:
 
     @property
     def terminal(self) -> bool:
-        return self.state in ("done", "failed")
+        return self.state in TERMINAL_STATES
+
+    def request_cancel(self, reason: str = "client request") -> None:
+        """Flag the job for cancellation (idempotent, thread-visible)."""
+        self.cancel_requested = True
+        if self.cancel_reason is None:
+            self.cancel_reason = reason
+        self.cancel_event.set()
 
     def publish(self, record: Dict[str, Any]) -> None:
         """Append to the replay buffer and fan out to live subscribers.
@@ -451,9 +541,13 @@ class Job:
             "state": self.state,
             "attempt": self.attempt,
             "cache_hit": self.cache_hit,
+            "priority": self.spec.priority,
+            "weight": self.spec.weight,
             "created_unix": round(self.created_unix, 3),
             "updated_unix": round(self.updated_unix, 3),
         }
+        if self.cancel_requested:
+            document["cancel_requested"] = True
         if self.error is not None:
             document["error"] = self.error
         if self.wall_seconds is not None:
@@ -472,28 +566,51 @@ class _ForwardingRecorder(MetricsRecorder):
     their type), which the manager hops onto the event loop to publish
     as SSE.  Recording stays bit-identical: forwarding never touches
     engine RNG, exactly like tracing.
+
+    The recorder doubles as the job's cancellation channel: its hooks
+    are the one code path that reaches into a running sweep from
+    outside, firing between trials (checkpoint writes) and inside
+    serial trials (samples).  When the job's cancel event is set, the
+    next hook raises :class:`JobCancelled`, unwinding the sweep with
+    every completed trial already drained to the checkpoint.
     """
 
-    def __init__(self, forward: Callable[[Dict[str, Any]], None], **kwargs: Any):
+    def __init__(
+        self,
+        forward: Callable[[Dict[str, Any]], None],
+        *,
+        cancel: Optional["threading.Event"] = None,
+        **kwargs: Any,
+    ):
         super().__init__(**kwargs)
         self._forward = forward
+        self._cancel = cancel
+
+    def _check_cancelled(self) -> None:
+        if self._cancel is not None and self._cancel.is_set():
+            raise JobCancelled("job cancelled")
 
     def event(self, kind: str, **fields: Any) -> None:
+        self._check_cancelled()
         super().event(kind, **fields)
         self._forward({"type": "event", "kind": kind, **fields})
 
     def sample(self, *, t: float, **fields: Any) -> None:
+        self._check_cancelled()
         super().sample(t=t, **fields)
         self._forward({"type": "sample", "t": t, **fields})
 
 
 class JobManager:
-    """Bounded-queue job execution with crash recovery.
+    """Bounded-queue concurrent job execution with crash recovery.
 
-    One manager owns one :class:`~repro.service.store.JobStore` and a
-    single-threaded executor (jobs run one at a time by default; the
-    *trials* of a job parallelize across worker processes).  All public
-    methods are event-loop-thread only.
+    One manager owns one :class:`~repro.service.store.JobStore` and
+    ``concurrency`` worker loops over a shared thread pool, so up to
+    ``concurrency`` jobs execute at once (each job's *trials* further
+    parallelize across worker processes).  Job isolation rests on the
+    context-scoped ambient recorder: every execution runs inside its
+    own ``contextvars`` context.  All public methods are
+    event-loop-thread only.
     """
 
     def __init__(
@@ -501,6 +618,7 @@ class JobManager:
         store: JobStore,
         *,
         max_queue: int = 16,
+        concurrency: int = 1,
         job_timeout: Optional[float] = None,
         retry_budget: int = 3,
         backoff_base: float = 0.5,
@@ -510,10 +628,13 @@ class JobManager:
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         if retry_budget < 1:
             raise ValueError(f"retry_budget must be >= 1, got {retry_budget}")
         self.store = store
         self.max_queue = max_queue
+        self.concurrency = concurrency
         self.job_timeout = job_timeout
         self.retry_budget = retry_budget
         self.backoff_base = backoff_base
@@ -521,8 +642,15 @@ class JobManager:
         self.ledger_path = ledger_path
         self.default_workers = default_workers
         self.jobs: Dict[str, Job] = {}
-        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
-        self._worker_task: Optional[asyncio.Task] = None
+        #: Priority queue entries: (-priority, seq, job).  The sequence
+        #: number makes dequeue FIFO within a priority; entries whose
+        #: job was cancelled while queued are skipped at dequeue.
+        self._queue: "asyncio.PriorityQueue[Tuple[int, int, Job]]" = (
+            asyncio.PriorityQueue()
+        )
+        self._seq = 0
+        self._worker_tasks: List[asyncio.Task] = []
+        self._retry_handles: Dict[str, asyncio.TimerHandle] = {}
         self._executor: Any = None
         #: EMA of job wall seconds, seeding the 429 Retry-After estimate.
         self._mean_wall = 10.0
@@ -531,12 +659,16 @@ class JobManager:
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> int:
-        """Recover journaled jobs and start the worker; returns the
+        """Recover journaled jobs and start the workers; returns the
         number of jobs re-admitted from the journal."""
         import concurrent.futures
 
+        # Twice as many threads as worker loops: the headroom absorbs
+        # threads orphaned by a job timeout (a thread cannot be
+        # interrupted, only flagged to unwind at its next recorder
+        # hook), so a timed-out job never blocks the next job's start.
         self._executor = concurrent.futures.ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-job"
+            max_workers=self.concurrency * 2, thread_name_prefix="repro-job"
         )
         recovered = 0
         for job_id, document in sorted(self.store.recover().items()):
@@ -561,9 +693,9 @@ class JobManager:
                     {"job": job_id, "state": "queued", "recovered": True,
                      "ts": round(utc_timestamp(), 3)}
                 )
-                self._queue.put_nowait(job)
+                self._enqueue(job)
                 recovered += 1
-            elif state in ("done", "failed"):
+            elif state in TERMINAL_STATES:
                 job.state = state
                 job.error = document.get("error")
                 job.cache_hit = bool(document.get("cache_hit", False))
@@ -574,21 +706,28 @@ class JobManager:
                             job.result.get("event_counts", {})
                         )
                 self.jobs[job_id] = job
-        self._worker_task = asyncio.ensure_future(self._worker_loop())
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker_loop())
+            for _ in range(self.concurrency)
+        ]
         if recovered:
             logger.warning("recovery: re-admitted %d live job(s)", recovered)
         return recovered
 
     async def stop(self) -> None:
-        """Stop the worker loop; queued jobs stay journaled for restart."""
+        """Stop the worker loops; queued jobs stay journaled for restart."""
         self._stopping = True
-        if self._worker_task is not None:
-            self._worker_task.cancel()
+        for handle in self._retry_handles.values():
+            handle.cancel()
+        self._retry_handles.clear()
+        tasks, self._worker_tasks = self._worker_tasks, []
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
             try:
-                await self._worker_task
+                await task
             except (asyncio.CancelledError, Exception):
                 pass
-            self._worker_task = None
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
@@ -596,7 +735,7 @@ class JobManager:
     # -- submission -----------------------------------------------------
 
     def queue_depth(self) -> int:
-        return self._queue.qsize()
+        return sum(1 for job in self.jobs.values() if job.state == "queued")
 
     def counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -604,12 +743,27 @@ class JobManager:
             counts[job.state] = counts.get(job.state, 0) + 1
         return counts
 
-    def retry_after_estimate(self) -> float:
-        """Seconds until the queue likely has room (for ``Retry-After``)."""
-        backlog = self._queue.qsize() + sum(
-            1 for job in self.jobs.values() if job.state == "running"
+    def backlog_weight(
+        self, states: Tuple[str, ...] = ("queued", "retrying")
+    ) -> int:
+        """Total admission weight of jobs in the given states."""
+        return sum(
+            job.spec.weight
+            for job in self.jobs.values()
+            if job.state in states
         )
-        return max(1.0, round(self._mean_wall * max(1, backlog), 1))
+
+    def retry_after_estimate(self) -> float:
+        """Seconds until the queue likely has room (for ``Retry-After``).
+
+        The backlog is *weighted* and counts queued, running and
+        ``retrying`` jobs alike -- a job waiting out its backoff still
+        owns its slot, and omitting it made the hint too optimistic
+        exactly when the service was failing.
+        """
+        backlog = self.backlog_weight(("queued", "retrying", "running"))
+        per_slot = self._mean_wall * max(1, backlog) / max(1, self.concurrency)
+        return max(1.0, round(per_slot, 1))
 
     def submit(self, payload: Any) -> Tuple[Job, bool]:
         """Admit one job payload; returns ``(job, created)``.
@@ -617,21 +771,19 @@ class JobManager:
         Idempotent by construction: the job id derives from the cache
         key, so resubmitting identical work returns the existing job --
         live or completed -- rather than queueing a duplicate.  A full
-        queue raises :class:`AdmissionError`; an invalid payload raises
-        :class:`JobValidationError`.
+        queue (in weight units) raises :class:`AdmissionError`; an
+        invalid payload raises :class:`JobValidationError`.
         """
         spec = JobSpec.from_payload(payload)
         cache_key = spec.cache_key()
         job_id = f"job-{cache_key[:16]}"
         existing = self.jobs.get(job_id)
-        if existing is not None and not (
-            existing.state == "failed"
-        ):
+        if existing is not None and existing.state not in ("failed", "cancelled"):
             return existing, False
-        # A previously failed job may be resubmitted: fresh attempt
-        # budget, same identity, same checkpoint (completed trials of
-        # the failed run still count).
-        if self._queue.qsize() >= self.max_queue:
+        # A previously failed or cancelled job may be resubmitted:
+        # fresh attempt budget, same identity, same checkpoint
+        # (trials completed before the failure/cancel still count).
+        if self.backlog_weight() + spec.weight > self.max_queue:
             raise AdmissionError(self.retry_after_estimate())
         job = Job(job_id, spec, cache_key)
         if existing is not None:
@@ -643,20 +795,55 @@ class JobManager:
                 "state": "queued",
                 "payload": {"kind": spec.kind, "spec": spec.params},
                 "cache_key": cache_key,
+                "priority": spec.priority,
+                "weight": spec.weight,
                 "ts": round(job.created_unix, 3),
             }
         )
-        self._queue.put_nowait(job)
+        self._enqueue(job)
         return job, True
 
     def get(self, job_id: str) -> Optional[Job]:
         return self.jobs.get(job_id)
 
+    # -- cancellation ---------------------------------------------------
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a job; returns it, or ``None`` if unknown.
+
+        A queued (or backoff-waiting) job is journaled ``cancelled``
+        immediately and its weight freed; a running job is flagged and
+        unwinds at its next recorder hook, after which
+        :meth:`_run_job` journals the terminal ``cancelled`` state.
+        Completed trials stay in the checkpoint, so resubmitting the
+        same work resumes where the cancel landed.  Cancelling a
+        terminal job is a no-op (the caller decides how to report it).
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            return None
+        if job.terminal:
+            return job
+        job.request_cancel()
+        if job.state in ("queued", "retrying"):
+            handle = self._retry_handles.pop(job.id, None)
+            if handle is not None:
+                handle.cancel()
+            self._transition(job, "cancelled", reason=job.cancel_reason)
+            self._ledger(job)
+        return job
+
     # -- execution ------------------------------------------------------
+
+    def _enqueue(self, job: Job) -> None:
+        self._seq += 1
+        self._queue.put_nowait((-job.spec.priority, self._seq, job))
 
     async def _worker_loop(self) -> None:
         while True:
-            job = await self._queue.get()
+            _, _, job = await self._queue.get()
+            if job.terminal:
+                continue  # cancelled while queued: stale entry
             try:
                 await self._run_job(job)
             except asyncio.CancelledError:
@@ -677,7 +864,28 @@ class JobManager:
         job.publish({"type": "state", "state": state, "attempt": job.attempt,
                      **{k: v for k, v in fields.items() if k != "payload"}})
 
+    def _schedule_retry(self, job: Job, backoff: float) -> None:
+        """Re-queue ``job`` once its not-before deadline passes.
+
+        The worker loop moves on immediately -- a retrying job backs
+        off on a timer, never head-of-line blocking the jobs queued
+        behind it.
+        """
+        loop = asyncio.get_running_loop()
+
+        def requeue() -> None:
+            self._retry_handles.pop(job.id, None)
+            if not job.terminal:
+                self._enqueue(job)
+
+        self._retry_handles[job.id] = loop.call_later(backoff, requeue)
+
+    def _finish_cancelled(self, job: Job) -> None:
+        self._transition(job, "cancelled", reason=job.cancel_reason)
+        self._ledger(job)
+
     async def _run_job(self, job: Job) -> None:
+        """Run one attempt of ``job`` on this worker's slot."""
         # Result-cache short circuit: identical (spec, seed, sha) work
         # already completed -- serve it with zero trial executions.
         cached = self.store.load_result(job.cache_key)
@@ -689,52 +897,67 @@ class JobManager:
             self._transition(job, "done", cache_hit=True, wall_seconds=0.0)
             self._ledger(job)
             return
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
 
         def forward(record: Dict[str, Any]) -> None:
             loop.call_soon_threadsafe(job.publish, record)
 
+        job.attempt += 1
+        self._transition(job, "running")
+        recorder = _ForwardingRecorder(forward, cancel=job.cancel_event)
+        spec = job.spec
+        if self.default_workers and "workers" not in spec.params:
+            spec = JobSpec(
+                spec.kind, {**spec.params, "workers": self.default_workers}
+            )
         started = time.perf_counter()
-        while True:
-            job.attempt += 1
-            self._transition(job, "running")
-            recorder = _ForwardingRecorder(forward)
-            spec = job.spec
-            if self.default_workers and "workers" not in spec.params:
-                spec = JobSpec(
-                    spec.kind, {**spec.params, "workers": self.default_workers}
-                )
-            try:
-                body = await self._execute(spec, job, recorder)
-            except RETRYABLE as exc:
-                if job.attempt >= self.retry_budget:
-                    self._transition(
-                        job, "failed",
-                        error=f"retry budget exhausted after "
-                              f"{job.attempt} attempt(s): {exc}",
-                    )
-                    self._ledger(job)
-                    return
-                backoff = self._backoff(job.attempt)
-                self._transition(
-                    job, "retrying", error=str(exc),
-                    backoff_seconds=round(backoff, 3),
-                )
-                await asyncio.sleep(backoff)
-                continue
-            except asyncio.TimeoutError:
+        try:
+            body = await self._execute(spec, job, recorder)
+        except RETRYABLE as exc:
+            job.exec_seconds += time.perf_counter() - started
+            if job.cancel_requested:
+                self._finish_cancelled(job)
+                return
+            if job.attempt >= self.retry_budget:
                 self._transition(
                     job, "failed",
-                    error=f"exceeded job timeout of {self.job_timeout}s",
+                    error=f"retry budget exhausted after "
+                          f"{job.attempt} attempt(s): {exc}",
                 )
                 self._ledger(job)
                 return
-            except Exception as exc:
-                self._transition(job, "failed", error=f"{type(exc).__name__}: {exc}")
-                self._ledger(job)
+            backoff = self._backoff(job.attempt)
+            self._transition(
+                job, "retrying", error=str(exc),
+                backoff_seconds=round(backoff, 3),
+            )
+            self._schedule_retry(job, backoff)
+            return
+        except asyncio.TimeoutError:
+            job.exec_seconds += time.perf_counter() - started
+            # The executor thread survives the timeout (threads cannot
+            # be killed); flag cancellation so it unwinds at its next
+            # recorder hook instead of occupying a pool slot forever.
+            job.request_cancel(reason=f"job timeout of {self.job_timeout}s")
+            self._transition(
+                job, "failed",
+                error=f"exceeded job timeout of {self.job_timeout}s",
+            )
+            self._ledger(job)
+            return
+        except Exception as exc:
+            job.exec_seconds += time.perf_counter() - started
+            if job.cancel_requested:
+                # The sweep unwound via JobCancelled (possibly wrapped
+                # by an intermediate layer): completed trials are in
+                # the checkpoint, the slot frees now.
+                self._finish_cancelled(job)
                 return
-            break
-        wall = time.perf_counter() - started
+            self._transition(job, "failed", error=f"{type(exc).__name__}: {exc}")
+            self._ledger(job)
+            return
+        job.exec_seconds += time.perf_counter() - started
+        wall = job.exec_seconds
         job.wall_seconds = wall
         self._mean_wall = 0.7 * self._mean_wall + 0.3 * wall
         job.event_counts = dict(recorder.event_counts)
@@ -757,10 +980,16 @@ class JobManager:
     async def _execute(
         self, spec: JobSpec, job: Job, recorder: MetricsRecorder
     ) -> Dict[str, Any]:
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
+        # Each execution runs in a copy of the submitting context, so
+        # the ambient-recorder ContextVar set inside execute_spec is
+        # scoped to this job alone -- concurrent jobs in sibling
+        # executor threads cannot cross-wire their metrics streams.
+        context = contextvars.copy_context()
         future = loop.run_in_executor(
             self._executor,
-            lambda: execute_spec(
+            lambda: context.run(
+                execute_spec,
                 spec,
                 checkpoint=self.store.checkpoint_path(job.id),
                 recorder=recorder,

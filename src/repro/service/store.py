@@ -50,9 +50,10 @@ __all__ = ["JobStore", "JOURNAL_SCHEMA_VERSION"]
 #: Version of the job-journal record format; bump on incompatible changes.
 JOURNAL_SCHEMA_VERSION = 1
 
-#: Job lifecycle states.  ``queued`` and ``running`` are live (recovered
-#: on restart); ``done`` and ``failed`` are terminal.
-JOB_STATES = ("queued", "running", "retrying", "done", "failed")
+#: Job lifecycle states.  ``queued``, ``running`` and ``retrying`` are
+#: live (recovered on restart); ``done``, ``failed`` and ``cancelled``
+#: are terminal.
+JOB_STATES = ("queued", "running", "retrying", "done", "failed", "cancelled")
 
 logger = get_logger("service.store")
 

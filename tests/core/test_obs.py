@@ -214,6 +214,83 @@ class TestAmbientContext:
                 raise RuntimeError("boom")
         assert current_recorder() is None
 
+    def test_recording_is_thread_scoped(self):
+        """Two threads inside recording scopes simultaneously each see
+        their own recorder -- the ContextVar contract that lets the
+        service run concurrent jobs without cross-wiring streams."""
+        import threading
+
+        barrier = threading.Barrier(2, timeout=10)
+        isolated = {}
+
+        def body(name):
+            recorder = MetricsRecorder()
+            with recording(recorder):
+                barrier.wait()  # both scopes active at once
+                isolated[name] = current_recorder() is recorder
+                barrier.wait()
+
+        threads = [threading.Thread(target=body, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=15)
+        assert isolated == {0: True, 1: True}
+        assert current_recorder() is None
+
+    def test_recording_is_task_scoped(self):
+        """Interleaved asyncio tasks each see their own recorder."""
+        import asyncio
+
+        async def main():
+            seen = {}
+
+            async def task(name):
+                recorder = MetricsRecorder()
+                with recording(recorder):
+                    await asyncio.sleep(0.01)  # yield to the sibling
+                    seen[name] = current_recorder() is recorder
+                return recorder
+
+            await asyncio.gather(task("a"), task("b"))
+            return seen
+
+        assert asyncio.run(main()) == {"a": True, "b": True}
+
+    def test_new_thread_does_not_inherit_recorder(self):
+        """A thread spawned inside a recording scope starts clean --
+        explicit propagation (contextvars.copy_context) is the only
+        way a recorder crosses a thread boundary."""
+        import threading
+
+        leaked = {}
+        with recording(MetricsRecorder()):
+            thread = threading.Thread(
+                target=lambda: leaked.setdefault("r", current_recorder())
+            )
+            thread.start()
+            thread.join(timeout=10)
+        assert leaked["r"] is None
+
+    def test_copy_context_propagates_recorder_into_thread(self):
+        """The pattern the job manager uses around run_in_executor."""
+        import contextvars
+        import threading
+
+        recorder = MetricsRecorder()
+        seen = {}
+        with recording(recorder):
+            context = contextvars.copy_context()
+        thread = threading.Thread(
+            target=lambda: seen.setdefault(
+                "r", context.run(current_recorder)
+            )
+        )
+        thread.start()
+        thread.join(timeout=10)
+        assert seen["r"] is recorder
+        assert current_recorder() is None
+
 
 class TestEngineWiring:
     """Recording must be inert when off and invisible to RNG when on."""

@@ -294,6 +294,55 @@ class TestRecovery:
         run(first_life())
         assert run(second_life())
 
+    def test_cancelled_job_recovers_as_history_not_work(
+        self, tmp_path, monkeypatch
+    ):
+        """A journaled ``cancelled`` state is terminal: restart shows
+        the job as history and never re-executes it, but the identity
+        stays resubmittable."""
+        from repro.service import jobs as jobs_mod
+
+        executed = []
+
+        def fake_execute(spec, *, checkpoint=None, recorder=None):
+            executed.append(spec.params["seed"])
+            return {"ok": True, "result": {}}
+
+        monkeypatch.setattr(jobs_mod, "execute_spec", fake_execute)
+
+        store = JobStore(str(tmp_path))
+        spec = JobSpec.from_payload(self._payload(seed=4))
+        key = spec.cache_key()
+        job_id = f"job-{key[:16]}"
+        store.append({"job": job_id, "state": "queued",
+                      "payload": {"kind": spec.kind, "spec": spec.params},
+                      "cache_key": key, "ts": 0.0})
+        store.append({"job": job_id, "state": "cancelled",
+                      "reason": "client request", "ts": 1.0})
+
+        async def body():
+            manager = JobManager(JobStore(str(tmp_path)))
+            recovered = await manager.start()
+            try:
+                assert recovered == 0  # cancelled is terminal
+                job = manager.get(job_id)
+                assert job is not None and job.state == "cancelled"
+                assert executed == []
+                # Resubmitting the same work starts a fresh attempt.
+                fresh, created = manager.submit(self._payload(seed=4))
+                assert created and fresh.id == job_id
+                for _ in range(200):
+                    if fresh.terminal:
+                        break
+                    await asyncio.sleep(0.02)
+                assert fresh.state == "done"
+                assert executed == [4]
+            finally:
+                await manager.stop()
+            return True
+
+        assert run(body())
+
     def test_completed_job_served_from_cache_zero_executions(
         self, tmp_path, monkeypatch
     ):

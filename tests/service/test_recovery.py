@@ -43,6 +43,9 @@ def _start_server(port, store_root, ledger_path):
             "--port", str(port),
             "--store", store_root,
             "--ledger", ledger_path,
+            # Two worker loops: the kill -9 proof must hold with
+            # concurrent execution, not just the single-worker case.
+            "--jobs", "2",
         ],
         cwd=REPO_ROOT,
         env=env,
