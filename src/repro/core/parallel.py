@@ -61,7 +61,12 @@ the run.  Because shard records are deterministic engine output (samples
 and events; timing records only appear under ``profile``), the merged
 record stream from a parallel run is byte-identical to a serial run of
 the same seed.  Shard files stay on disk next to the parent trace for
-postmortems.  With no trace attached, nothing changes: pooled workers
+postmortems unless the recorder sets ``keep_shards=False``, in which
+case each shard is unlinked once merged.  Every traced trial also opens
+and closes a ``trial`` span (see :mod:`repro.obs.spans`) inside its
+shard; untraced recorded runs get harvest-time trial spans on the
+parent recorder instead, which is how the service streams per-trial
+progress.  With no trace attached, nothing changes: pooled workers
 start with no recorder and the hot paths keep their single ``None``
 check.
 """
@@ -179,14 +184,25 @@ class _ShardSpec:
     recording configuration: where shards live (next to the parent
     trace) and the recorder parameters, so a shard sample stream is
     what the parent recorder would have captured in-process.
+    ``parent_span`` is the innermost span open on the parent recorder
+    (the job attempt, under the service) so merged trial spans parent
+    correctly; it is part of the spec, hence identical for serial and
+    pooled runs of the same configuration.
     """
 
-    __slots__ = ("trace_path", "sample_every", "profile")
+    __slots__ = ("trace_path", "sample_every", "profile", "parent_span")
 
-    def __init__(self, trace_path: str, sample_every: int, profile: bool):
+    def __init__(
+        self,
+        trace_path: str,
+        sample_every: int,
+        profile: bool,
+        parent_span: Optional[str] = None,
+    ):
         self.trace_path = trace_path
         self.sample_every = sample_every
         self.profile = profile
+        self.parent_span = parent_span
 
 
 def _trial_shard_scope(
@@ -204,11 +220,14 @@ def _trial_shard_scope(
     from repro.obs.metrics import MetricsRecorder
     from repro.obs.trace import TraceWriter, shard_path, span_id
 
+    from repro.obs.spans import stage_span_id
+
     stack = ExitStack()
+    trial_span = span_id(seed, labels, index)
     writer = stack.enter_context(TraceWriter(
         shard_path(spec.trace_path, index),
         header_extra={
-            "span": span_id(seed, labels, index),
+            "span": trial_span,
             "seed": seed,
             "labels": list(labels),
             "trial": index,
@@ -218,6 +237,9 @@ def _trial_shard_scope(
         sample_every=spec.sample_every, trace=writer, profile=spec.profile
     )
     stack.enter_context(recording(recorder))
+    recorder.begin_span(
+        "trial", trial_span, parent=spec.parent_span, trial=index
+    )
     if spec.profile:
         # Written at close, after the task ran: per-trial stage timings
         # (pair_sampling / transition / resync) land in the shard --
@@ -226,6 +248,25 @@ def _trial_shard_scope(
         stack.callback(
             lambda: writer.write("aggregate", {"trial": index, **recorder.aggregates()})
         )
+
+    def _close_trial_span(exc_type: Any, exc: Any, tb: Any) -> bool:
+        # Runs before the aggregate callback (LIFO), so the shard reads
+        # spans-then-aggregate.  Stage spans reflect the engine's
+        # profiled stage timers -- wall-clock, hence profiling-only,
+        # like every other timing record in a shard.
+        if spec.profile:
+            for stage in sorted(recorder.stage_seconds):
+                sid = stage_span_id(trial_span, stage)
+                recorder.begin_span("stage", sid, parent=trial_span, name=stage)
+                recorder.end_span(
+                    sid, wall_seconds=round(recorder.stage_seconds[stage], 6)
+                )
+        recorder.end_span(
+            trial_span, status="ok" if exc_type is None else "failed"
+        )
+        return False
+
+    stack.push(_close_trial_span)
     return stack
 
 
@@ -373,6 +414,7 @@ class ParallelTrialRunner:
         self._obs: Optional[Any] = None  # resolved per map_trials call
         self._shard_spec: Optional[_ShardSpec] = None  # ditto
         self._run_key: Optional[_RunKey] = None  # ditto
+        self._parent_span: Optional[str] = None  # ditto
 
     @property
     def parallel(self) -> bool:
@@ -402,11 +444,20 @@ class ParallelTrialRunner:
         self._run_key = run_key
         self._obs = self.recorder if self.recorder is not None else current_recorder()
         trace = getattr(self._obs, "trace", None)
+        # Trial spans parent under whatever span the caller has open --
+        # the job attempt when the service runs us, nothing for a bare
+        # CLI run.  Innermost open span wins (dict preserves open order).
+        open_spans = getattr(self._obs, "open_spans", None)
+        parent_span: Optional[str] = (
+            next(reversed(open_spans)) if open_spans else None
+        )
+        self._parent_span = parent_span
         self._shard_spec = (
             _ShardSpec(
                 trace.path,
                 self._obs.sample_every,
                 bool(getattr(self._obs, "profile", False)),
+                parent_span,
             )
             if trace is not None
             else None
@@ -489,7 +540,10 @@ class ParallelTrialRunner:
 
         Trial order (not completion order) is what makes the merged
         stream deterministic; checkpoint-resumed trials wrote their
-        shards in an earlier run and are not re-merged.
+        shards in an earlier run and are not re-merged.  Shards stay on
+        disk for postmortems unless the recorder opted out
+        (``keep_shards=False``): then each shard is unlinked once its
+        records are safely in the parent trace.
         """
         from repro.obs.trace import merge_trace_shards, shard_path
 
@@ -505,6 +559,18 @@ class ParallelTrialRunner:
             len(paths),
             self._shard_spec.trace_path,
         )
+        if not getattr(self._obs, "keep_shards", True):
+            # Flush first: a shard must never die before its records
+            # are durably in the parent trace.
+            self._obs.trace.flush()
+            removed = 0
+            for path in paths:
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    continue
+            _LOG.debug("removed %d merged shard file(s)", removed)
 
     # -- serial path ----------------------------------------------------
 
@@ -520,7 +586,21 @@ class ParallelTrialRunner:
         obs = self._obs
         spec = self._shard_spec
         profiling = obs is not None and getattr(obs, "profile", False)
+        # Untraced recorded runs get their trial spans on the parent
+        # recorder (the service path: spans stream to SSE subscribers);
+        # traced runs record them inside the shard scope instead.
+        emit_spans = (
+            obs is not None and spec is None and hasattr(obs, "begin_span")
+        )
+        if emit_spans:
+            from repro.obs.trace import span_id as trial_span_id
         for index in pending:
+            trial_span: Optional[str] = None
+            if emit_spans:
+                trial_span = trial_span_id(seed, labels, index)
+                obs.begin_span(
+                    "trial", trial_span, parent=self._parent_span, trial=index
+                )
             wall = time.perf_counter() if profiling else 0.0
             cpu = time.process_time() if profiling else 0.0
             try:
@@ -534,6 +614,8 @@ class ParallelTrialRunner:
                 else:
                     value = _run_trial(task, seed, labels, index)
             except Exception as exc:
+                if trial_span is not None:
+                    obs.end_span(trial_span, status="failed")
                 raise TrialTaskError(
                     index, f"{type(exc).__name__}: {exc}", traceback.format_exc()
                 ) from exc
@@ -545,6 +627,8 @@ class ParallelTrialRunner:
                     cpu_seconds=time.process_time() - cpu,
                     pooled=False,
                 )
+            if trial_span is not None:
+                obs.end_span(trial_span)
             results[index] = value
             if self.checkpoint:
                 self._checkpoint_write(run_key, index, value)
@@ -636,6 +720,11 @@ class ParallelTrialRunner:
         obs = self._obs
         spec = self._shard_spec
         profiling = obs is not None and getattr(obs, "profile", False)
+        emit_spans = (
+            obs is not None and spec is None and hasattr(obs, "begin_span")
+        )
+        if emit_spans:
+            from repro.obs.trace import span_id as trial_span_id
         worker_body = _run_trial_timed if profiling else _run_trial_guarded
         try:
             pool = cf.ProcessPoolExecutor(
@@ -661,15 +750,37 @@ class ParallelTrialRunner:
                 raise _PoolBroken() from exc
             try:
                 for index, future in futures.items():
+                    # Parent-side trial spans are harvest markers: they
+                    # open as the harvest loop reaches the trial and
+                    # close when its result lands, so SSE subscribers
+                    # see per-trial progress without worker plumbing.
+                    trial_span: Optional[str] = None
+                    if emit_spans:
+                        trial_span = trial_span_id(seed, labels, index)
+                        obs.begin_span(
+                            "trial",
+                            trial_span,
+                            parent=self._parent_span,
+                            trial=index,
+                        )
                     try:
                         value = future.result(timeout=self.timeout)
                     except cf.TimeoutError:
                         # Checked before the pool-error clause: the builtin
                         # TimeoutError subclasses OSError on modern Pythons.
+                        if trial_span is not None:
+                            obs.end_span(trial_span, status="failed")
                         raise TrialTimeoutError(index, self.timeout or 0.0) from None
                     except (cf.BrokenExecutor, OSError) as exc:
+                        # The trial itself is fine -- the pool broke --
+                        # so the span closes "retried": the next round
+                        # re-begins the same identity.
+                        if trial_span is not None:
+                            obs.end_span(trial_span, status="retried")
                         raise _PoolBroken() from exc
                     if isinstance(value, _TrialFailure):
+                        if trial_span is not None:
+                            obs.end_span(trial_span, status="failed")
                         raise TrialTaskError(
                             index,
                             f"{value.kind}: {value.message}",
@@ -684,6 +795,8 @@ class ParallelTrialRunner:
                             pooled=True,
                         )
                         value = value.value
+                    if trial_span is not None:
+                        obs.end_span(trial_span)
                     results[index] = value
                     if self.checkpoint:
                         self._checkpoint_write(run_key, index, value)

@@ -18,6 +18,9 @@ Examples::
     repro chaos --adversary leader --n 64 128 --json chaos.json
     repro chaos --metrics m.json --trace t.jsonl   # + observability
     repro tail t.jsonl              # render a recorded trace as charts
+    repro tail t.jsonl --follow     # stream the trace as it grows
+    repro top                       # live dashboard over a running service
+    repro top --once                # one headless frame (CI smoke)
     repro bench --suite engine      # run a benchmark suite (ledgered)
     repro bench --suite engine --update-baseline   # store the baseline
     repro bench --suite engine --compare-baseline  # statistical gate
@@ -60,6 +63,22 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="additionally time engine stages and individual trials "
         "(implies recording)",
+    )
+    shards = parser.add_mutually_exclusive_group()
+    shards.add_argument(
+        "--keep-shards",
+        dest="keep_shards",
+        action="store_true",
+        default=True,
+        help="keep per-worker trace shard files after they are merged "
+        "into the parent trace (the default)",
+    )
+    shards.add_argument(
+        "--no-keep-shards",
+        dest="keep_shards",
+        action="store_false",
+        help="delete per-worker trace shard files once merged; the "
+        "merged parent trace is byte-identical either way",
     )
 
 
@@ -385,6 +404,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the trace against the record schema first; "
         "exit non-zero on any problem",
     )
+    tail_parser.add_argument(
+        "-f",
+        "--follow",
+        action="store_true",
+        help="stream records as the trace file grows (one line per "
+        "record), reopening when it is truncated or replaced; "
+        "Ctrl-C to stop",
+    )
+    tail_parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="with --follow: idle poll interval (default: 0.5)",
+    )
 
     bench_parser = sub.add_parser(
         "bench",
@@ -542,6 +576,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="W",
         help="default worker processes for jobs that do not specify their own",
     )
+    serve_parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="stderr log verbosity for the service's job-id-correlated "
+        "structured logs (default: info)",
+    )
     _add_ledger_arguments(serve_parser)
 
     submit_parser = sub.add_parser(
@@ -597,6 +638,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --wait: write the full result document to PATH",
     )
 
+    top_parser = sub.add_parser(
+        "top",
+        help="live fleet dashboard over a running service: health, "
+        "lifetime counters with trial throughput, and per-job "
+        "progress bars fed by trial spans",
+    )
+    top_parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="service base URL (default: http://127.0.0.1:8642)",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval (default: 2)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame without clearing the screen and "
+        "exit (headless/CI mode); exit non-zero if unreachable",
+    )
+
     cancel_parser = sub.add_parser(
         "cancel",
         help="cancel a submitted job (queued: instant; running: unwinds at "
@@ -622,7 +688,11 @@ def _install_recorder(args: argparse.Namespace, stack: ExitStack) -> Optional[An
     from repro.obs import MetricsRecorder, TraceWriter, recording
 
     trace = stack.enter_context(TraceWriter(args.trace)) if args.trace else None
-    recorder = MetricsRecorder(trace=trace, profile=args.profile)
+    recorder = MetricsRecorder(
+        trace=trace,
+        profile=args.profile,
+        keep_shards=getattr(args, "keep_shards", True),
+    )
     stack.enter_context(recording(recorder))
     return recorder
 
@@ -716,7 +786,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     if args.command == "tail":
-        from repro.obs.tail import render_trace
+        from repro.obs.tail import follow_trace, format_record, render_trace
         from repro.obs.trace import validate_trace
 
         if args.validate:
@@ -726,6 +796,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"tail: {problem}", file=sys.stderr)
                 return 1
             print(f"tail: {args.trace_file} validates")
+        if args.follow:
+            try:
+                for record in follow_trace(args.trace_file, poll=args.poll):
+                    print(format_record(record), flush=True)
+            except KeyboardInterrupt:
+                pass
+            return 0
         print(render_trace(
             args.trace_file,
             series=args.series,
@@ -754,6 +831,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "cancel":
         return _cmd_cancel(args)
+
+    if args.command == "top":
+        from repro.obs.top import run_top
+
+        return run_top(args.url, interval=args.interval, once=args.once)
 
     if args.command == "chaos":
         # Imported lazily: the sweep pulls in the chaos + count machinery.
@@ -849,9 +931,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     journaled and a restart resumes them, which is the whole point).
     """
     import asyncio
+    import logging
 
+    from repro.obs.log import configure_logging
     from repro.service.api import serve
 
+    configure_logging(getattr(logging, args.log_level.upper()))
     try:
         asyncio.run(
             serve(

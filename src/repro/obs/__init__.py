@@ -39,10 +39,26 @@ from repro.obs.ledger import (
     read_ledger,
     record_invocation,
 )
-from repro.obs.log import configure_logging, get_logger
+from repro.obs.log import configure_logging, get_logger, job_logger
 from repro.obs.metrics import MetricsRecorder, SampledMetricsMonitor, percentile
 from repro.obs.profile import Stopwatch
+from repro.obs.promexp import (
+    TelemetryRegistry,
+    get_registry,
+    parse_prometheus_text,
+    render_prometheus,
+)
 from repro.obs.provenance import git_sha, run_stamp
+from repro.obs.spans import (
+    SPAN_KINDS,
+    SPAN_SCHEMA_VERSION,
+    SPAN_STATUSES,
+    SpanNode,
+    attempt_span_id,
+    build_span_tree,
+    stage_span_id,
+    validate_spans,
+)
 from repro.obs.trace import (
     RECORD_TYPES,
     TRACE_SCHEMA_VERSION,
@@ -60,26 +76,39 @@ __all__ = [
     "LEDGER_SCHEMA_VERSION",
     "MetricsRecorder",
     "RECORD_TYPES",
+    "SPAN_KINDS",
+    "SPAN_SCHEMA_VERSION",
+    "SPAN_STATUSES",
     "SampledMetricsMonitor",
+    "SpanNode",
     "Stopwatch",
     "TRACE_SCHEMA_VERSION",
+    "TelemetryRegistry",
     "TraceWriter",
     "append_entry",
+    "attempt_span_id",
+    "build_span_tree",
     "configure_logging",
     "current_recorder",
     "get_logger",
+    "get_registry",
     "git_sha",
     "iter_ledger",
     "iter_trace",
+    "job_logger",
     "make_entry",
     "merge_trace_shards",
+    "parse_prometheus_text",
     "percentile",
     "read_ledger",
     "read_trace",
     "record_invocation",
     "recording",
+    "render_prometheus",
     "run_stamp",
     "shard_path",
     "span_id",
+    "stage_span_id",
+    "validate_spans",
     "validate_trace",
 ]

@@ -28,6 +28,12 @@ The context stays process-local: worker processes spawned by the
 parallel runner start with no recorder, so pooled trials run
 uninstrumented while the parent still records runner-level events
 (checkpoint writes, retries, per-trial timing).
+
+Causal spans ride the same channel: the runner asks the ambient
+recorder for its innermost open span (the service's job/attempt span)
+to parent each trial span under, so the span tree assembles without
+any explicit plumbing -- and stays absent entirely when no recorder
+is installed.
 """
 
 from __future__ import annotations

@@ -5,13 +5,19 @@ logger (``repro.parallel``, ``repro.chaos``, ``repro.obs.trace``, ...),
 so one call configures -- or silences -- the whole tree.  Following
 library convention, importing the package attaches no handlers; the
 CLI (and tests that want visible logs) call :func:`configure_logging`.
+
+Service code logs through :func:`job_logger`, a ``LoggerAdapter`` that
+prefixes every record with its job id (and exposes it as the
+``job_id`` attribute for structured handlers), so the interleaved
+decisions of N concurrent worker loops -- admission, retry, cancel,
+degrade -- stay grep-able per job.
 """
 
 from __future__ import annotations
 
 import logging
 import sys
-from typing import Optional, TextIO
+from typing import Any, MutableMapping, Optional, TextIO, Tuple
 
 #: Root of the package's logger hierarchy.
 ROOT_LOGGER = "repro"
@@ -48,3 +54,27 @@ def configure_logging(
     handler._repro_obs_handler = True  # type: ignore[attr-defined]
     root.addHandler(handler)
     return root
+
+
+class _JobLoggerAdapter(logging.LoggerAdapter):
+    """Injects a ``job_id`` into every record it emits.
+
+    The id lands twice: as a ``[job-...]`` prefix in the rendered
+    message (readable with the default formatter) and as the record's
+    ``job_id`` attribute via ``extra`` (filterable by structured
+    handlers and tests).
+    """
+
+    def process(
+        self, msg: Any, kwargs: MutableMapping[str, Any]
+    ) -> Tuple[Any, MutableMapping[str, Any]]:
+        job_id = self.extra["job_id"] if self.extra else "?"
+        extra = dict(kwargs.get("extra") or {})
+        extra.setdefault("job_id", job_id)
+        kwargs["extra"] = extra
+        return f"[{job_id}] {msg}", kwargs
+
+
+def job_logger(base: logging.Logger, job_id: str) -> logging.LoggerAdapter:
+    """A job-id-correlated view of ``base`` (see :class:`_JobLoggerAdapter`)."""
+    return _JobLoggerAdapter(base, {"job_id": job_id})

@@ -13,7 +13,11 @@ write paths matching the collection taxonomy:
 * the aggregation accumulators -- :meth:`count_interactions` for
   throughput, :meth:`phase`/:meth:`add_stage_time` for per-phase and
   per-stage wall time (``time.perf_counter``; durations must never use
-  ``time.time``, which can go backwards under clock adjustment).
+  ``time.time``, which can go backwards under clock adjustment);
+* :meth:`MetricsRecorder.begin_span`/:meth:`MetricsRecorder.end_span`
+  -- causal span boundaries tying a job to its attempts, trials and
+  engine stages (taxonomy in :mod:`repro.obs.spans`); deterministic
+  unless profiling adds wall-clock durations.
 
 :meth:`MetricsRecorder.aggregates` distills everything into the
 post-run summary: recovery-time percentiles, throughput, per-phase
@@ -33,6 +37,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.core.monitors import ConvergenceMonitor, Monitor
+from repro.obs.spans import SPAN_KINDS, SPAN_SCHEMA_VERSION, SPAN_STATUSES
 from repro.obs.trace import TraceWriter
 
 __all__ = ["MetricsRecorder", "SampledMetricsMonitor", "percentile"]
@@ -91,6 +96,11 @@ class MetricsRecorder:
         wall/CPU timing in
         :class:`~repro.core.parallel.ParallelTrialRunner`.  Off by
         default -- profiling pays ``perf_counter`` calls on hot stages.
+    keep_shards:
+        Whether the parallel runner keeps worker trace shards on disk
+        after merging them into the main trace.  Kept by default (the
+        postmortem contract: a shard names exactly one trial's records);
+        ``False`` unlinks each shard once merged.
     """
 
     def __init__(
@@ -99,16 +109,23 @@ class MetricsRecorder:
         sample_every: int = 256,
         trace: Optional[TraceWriter] = None,
         profile: bool = False,
+        keep_shards: bool = True,
     ):
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.sample_every = sample_every
         self.trace = trace
         self.profile = profile
+        self.keep_shards = keep_shards
         #: Sampled time-series records, in arrival order.
         self.samples: List[Dict[str, Any]] = []
         #: Event records, in arrival order.
         self.events: List[Dict[str, Any]] = []
+        #: Span boundary records (begin + end), in arrival order.
+        self.spans: List[Dict[str, Any]] = []
+        #: Currently open spans: id -> the begin record.
+        self.open_spans: Dict[str, Dict[str, Any]] = {}
+        self._span_starts: Dict[str, float] = {}
         #: Event-count totals by kind (reconciles with ``events``).
         self.event_counts: Dict[str, int] = {}
         #: Live gauges merged into every sample (e.g. ``fault_backlog``).
@@ -148,6 +165,86 @@ class MetricsRecorder:
     def events_of(self, kind: str) -> List[Dict[str, Any]]:
         """All recorded events of one kind, in arrival order."""
         return [event for event in self.events if event["kind"] == kind]
+
+    # -- causal spans ---------------------------------------------------
+
+    def begin_span(
+        self,
+        kind: str,
+        span_id: str,
+        *,
+        parent: Optional[str] = None,
+        name: Optional[str] = None,
+        **fields: Any,
+    ) -> None:
+        """Open a causal span (see :mod:`repro.obs.spans`).
+
+        Span records are deterministic: no wall-clock field is written
+        unless profiling is on, so spans in a trace survive the worker
+        shard merge byte-identically.
+        """
+        if kind not in SPAN_KINDS:
+            raise ValueError(f"unknown span kind {kind!r}; known: {SPAN_KINDS}")
+        record: Dict[str, Any] = {
+            "span_schema": SPAN_SCHEMA_VERSION,
+            "op": "begin",
+            "id": span_id,
+            "kind": kind,
+            **fields,
+        }
+        if parent is not None:
+            record["parent"] = parent
+        if name is not None:
+            record["name"] = name
+        self.spans.append(record)
+        self.open_spans[span_id] = record
+        if self.profile:
+            self._span_starts[span_id] = time.perf_counter()
+        if self.trace is not None:
+            self.trace.write("span", record)
+
+    def end_span(self, span_id: str, status: str = "ok", **fields: Any) -> None:
+        """Close an open span with a terminal ``status``.
+
+        Idempotent: closing a span that is not open is a no-op, so
+        unwind paths (cancellation, failure) may close defensively.
+        """
+        if span_id not in self.open_spans:
+            return
+        if status not in SPAN_STATUSES:
+            raise ValueError(
+                f"unknown span status {status!r}; known: {SPAN_STATUSES}"
+            )
+        begin = self.open_spans.pop(span_id)
+        record: Dict[str, Any] = {
+            "span_schema": SPAN_SCHEMA_VERSION,
+            "op": "end",
+            "id": span_id,
+            "status": status,
+            **fields,
+        }
+        # The end record repeats the kind so stream consumers (the SSE
+        # fan-out, `repro top`) never need the matching begin in hand.
+        if "kind" not in record and begin.get("kind") is not None:
+            record["kind"] = begin["kind"]
+        start = self._span_starts.pop(span_id, None)
+        if start is not None and "wall_seconds" not in record:
+            record["wall_seconds"] = time.perf_counter() - start
+        self.spans.append(record)
+        if self.trace is not None:
+            self.trace.write("span", record)
+
+    def close_open_spans(self, status: str = "cancelled") -> int:
+        """Close every open span, innermost first; return how many.
+
+        The unwind hook for jobs that stop early: a cancelled or failed
+        run must leave a well-formed span tree (no dangling opens), so
+        callers invoke this before the trace closes.
+        """
+        open_ids = list(self.open_spans)
+        for span_id in reversed(open_ids):
+            self.end_span(span_id, status=status)
+        return len(open_ids)
 
     # -- gauges ---------------------------------------------------------
 
@@ -190,6 +287,7 @@ class MetricsRecorder:
             "samples": len(self.samples),
             "events": len(self.events),
             "event_counts": dict(self.event_counts),
+            **({"spans": len(self.spans)} if self.spans else {}),
             "throughput": {
                 "interactions": self.interactions,
                 "engine_seconds": self.engine_seconds,
@@ -234,6 +332,7 @@ class MetricsRecorder:
             "profile": self.profile,
             "samples": self.samples,
             "events": self.events,
+            "spans": self.spans,
             "aggregates": self.aggregates(),
         }
 

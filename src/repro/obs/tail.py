@@ -4,11 +4,23 @@ One small chart per sampled series (mixed magnitudes -- a leader count
 near 1 next to a distinct-state count in the hundreds -- would be
 unreadable on one canvas), followed by an event summary and, when the
 trace carries one, the post-run aggregate record.
+
+``repro tail --follow`` instead streams the file as it grows
+(:func:`follow_trace`): records already on disk are replayed with the
+same one-line-in-memory grammar as
+:func:`~repro.obs.trace.iter_trace`, then the tail polls for appended
+lines, waiting out partial writes and reopening from the top when the
+file is truncated or replaced -- the recorder of a restarted run
+recreates its trace file, and a follower should pick the new run up
+rather than go quiet.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs.trace import iter_trace
 
@@ -52,6 +64,110 @@ def available_series(records: Sequence[Dict[str, Any]]) -> List[str]:
 
 #: Sample fields never charted (time axis, bookkeeping, identities).
 _NON_SERIES_FIELDS = ("t", "v", "type", "interactions", "events", "changes", "span")
+
+
+def follow_trace(
+    path: str,
+    *,
+    poll: float = 0.5,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield trace records as the file grows (``repro tail --follow``).
+
+    One line is in memory at a time, same as :func:`iter_trace`.  A
+    line without a trailing newline is a write in progress -- the
+    reader seeks back and waits rather than parsing half a record.
+    When the file shrinks or its inode changes (a restarted run
+    recreating its trace), the follower reopens from the top; while
+    the file does not exist yet it simply keeps polling.  ``stop`` is
+    checked at every idle poll so tests and the CLI's signal handling
+    can end the otherwise-infinite stream.
+    """
+    handle = None
+    try:
+        while True:
+            if handle is None:
+                try:
+                    # Binary mode: tell() is a real byte offset there,
+                    # which the truncation check compares to st_size.
+                    handle = open(path, "rb")
+                except OSError:
+                    if stop is not None and stop():
+                        return
+                    time.sleep(poll)
+                    continue
+            position = handle.tell()
+            line = handle.readline()
+            if line.endswith(b"\n"):
+                stripped = line.strip()
+                if stripped:
+                    try:
+                        yield json.loads(stripped.decode("utf8"))
+                    except (json.JSONDecodeError, UnicodeDecodeError):
+                        continue  # same tolerance as iter_trace
+                continue
+            # EOF (or a partial line still being written): rewind past
+            # the fragment, then decide whether the file was truncated
+            # or swapped out from under us.
+            handle.seek(position)
+            reopen = False
+            try:
+                stat = os.stat(path)
+                reopen = (
+                    stat.st_size < position
+                    or stat.st_ino != os.fstat(handle.fileno()).st_ino
+                )
+            except OSError:
+                reopen = True
+            if reopen:
+                handle.close()
+                handle = None
+                continue
+            if stop is not None and stop():
+                return
+            time.sleep(poll)
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def format_record(record: Dict[str, Any]) -> str:
+    """One human-readable line per record for follow-mode output."""
+    rtype = str(record.get("type", "?"))
+    if rtype == "sample":
+        t = record.get("t")
+        fields = "  ".join(
+            f"{name}={value}"
+            for name, value in sorted(record.items())
+            if name not in _NON_SERIES_FIELDS
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        )
+        prefix = f"sample t={t:g}" if isinstance(t, (int, float)) else "sample"
+        return f"{prefix}  {fields}".rstrip()
+    if rtype == "event":
+        detail = "  ".join(
+            f"{name}={value}"
+            for name, value in sorted(record.items())
+            if name not in ("v", "type", "kind")
+        )
+        return f"event {record.get('kind', '?')}  {detail}".rstrip()
+    if rtype == "span":
+        op = record.get("op", "?")
+        bits = [f"span {op} {record.get('kind', '?')} {record.get('id', '?')}"]
+        if op == "end":
+            bits.append(f"status={record.get('status', '?')}")
+        elif record.get("parent"):
+            bits.append(f"parent={record['parent']}")
+        return "  ".join(bits)
+    if rtype == "aggregate":
+        throughput = record.get("throughput") or {}
+        return (
+            "aggregate  "
+            f"interactions={throughput.get('interactions', 0)} "
+            f"events={record.get('events', {})}"
+        )
+    return json.dumps(record, sort_keys=True)
 
 
 def render_trace(

@@ -24,6 +24,15 @@ Record types
     Post-run summary (see
     :meth:`~repro.obs.metrics.MetricsRecorder.aggregates`), written
     once when the CLI closes the trace.
+``span``
+    One causal-span boundary (see :mod:`repro.obs.spans`).  Always
+    carries its own ``span_schema`` version, an ``op`` (``begin`` or
+    ``end``), the span ``id`` and -- on ``begin`` -- the span ``kind``
+    (``job``/``attempt``/``trial``/``stage``) and ``parent`` id, which
+    together tie a job to its retry attempts, trials and engine stages
+    causally.  Span records are deterministic engine output (wall-clock
+    fields appear only under profiling), so they survive the worker
+    shard merge byte-identically.
 
 Writes are buffered (``buffer_records`` lines) and flushed on close, so
 tracing a hot loop costs an append to a Python list most of the time.
@@ -42,7 +51,7 @@ from repro.obs.provenance import run_stamp
 TRACE_SCHEMA_VERSION = 1
 
 #: Every record type a valid trace may contain.
-RECORD_TYPES = ("header", "sample", "event", "aggregate")
+RECORD_TYPES = ("header", "sample", "event", "aggregate", "span")
 
 logger = get_logger("obs.trace")
 
@@ -225,6 +234,14 @@ def validate_trace(path: str) -> List[str]:
             problems.append(f"line {lineno}: sample record has no numeric 't'")
         if rtype == "event" and not isinstance(record.get("kind"), str):
             problems.append(f"line {lineno}: event record has no 'kind'")
+        if rtype == "span":
+            if record.get("op") not in ("begin", "end"):
+                problems.append(
+                    f"line {lineno}: span record 'op' must be begin/end, "
+                    f"got {record.get('op')!r}"
+                )
+            if not isinstance(record.get("id"), str):
+                problems.append(f"line {lineno}: span record has no 'id'")
     return problems
 
 

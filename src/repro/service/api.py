@@ -38,6 +38,13 @@ Routes
     Liveness plus *degraded-mode* reporting: a failing ledger or job
     journal flips ``status`` to ``degraded`` (computation continues,
     durability is reduced) rather than failing the probe outright.
+    Includes a ``telemetry`` snapshot of the counter/gauge families.
+
+``GET /metrics``
+    The process-wide :class:`~repro.obs.promexp.TelemetryRegistry` in
+    Prometheus text exposition format (``text/plain; version=0.0.4``):
+    jobs by state/kind, queue weight, admission rejections, retries,
+    cancellations, EMA wall time, trial throughput, recorder streams.
 """
 
 from __future__ import annotations
@@ -91,6 +98,18 @@ def _response(
     ]
     for name, value in (extra_headers or {}).items():
         headers.append(f"{name}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + payload
+
+
+def _text_response(status: int, text: str, *, content_type: str) -> bytes:
+    """A plain-text response (the ``/metrics`` exposition body)."""
+    payload = text.encode("utf8")
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
     return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + payload
 
 
@@ -200,6 +219,8 @@ class ServiceServer:
         parts = [p for p in path.split("/") if p]
         if method == "GET" and parts == ["healthz"]:
             return self._get_healthz
+        if method == "GET" and parts == ["metrics"]:
+            return self._get_metrics
         if parts and parts[0] == "jobs":
             if method == "POST" and len(parts) == 1:
                 return self._post_jobs
@@ -350,6 +371,19 @@ class ServiceServer:
         finally:
             job.unsubscribe(queue)
 
+    async def _get_metrics(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        """The telemetry registry in Prometheus text exposition format."""
+        # Gauges are point-in-time: refresh them at scrape time so a
+        # scrape between job transitions still sees the live queue.
+        self.manager.update_gauges()
+        writer.write(
+            _text_response(
+                200,
+                self.manager.telemetry.render(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        )
+
     async def _get_healthz(self, writer: asyncio.StreamWriter, body: bytes) -> None:
         reasons = list(self.manager.store.degraded_reasons())
         # Only paths this service writes belong in its health: the run
@@ -385,9 +419,20 @@ class ServiceServer:
                         ("queued", "retrying", "running")
                     ),
                     "jobs": self.manager.counts(),
+                    "telemetry": self._telemetry_snapshot(),
                 },
             )
         )
+
+    def _telemetry_snapshot(self) -> Dict[str, Any]:
+        """Counters and gauges for ``/healthz`` (histograms omitted --
+        the full families live at ``/metrics``)."""
+        self.manager.update_gauges()
+        return {
+            name: family
+            for name, family in self.manager.telemetry.snapshot().items()
+            if family["type"] in ("counter", "gauge")
+        }
 
 
 async def serve(

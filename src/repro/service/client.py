@@ -21,8 +21,10 @@ __all__ = [
     "cancel_job",
     "get_health",
     "get_job",
+    "get_metrics",
     "get_result",
     "iter_events",
+    "list_jobs",
     "submit_job",
     "wait_for_job",
 ]
@@ -138,6 +140,27 @@ def get_result(base_url: str, job_id: str, *, timeout: float = 30.0) -> Dict[str
 
 def get_health(base_url: str, *, timeout: float = 10.0) -> Dict[str, Any]:
     return _request(base_url, "/healthz", timeout=timeout)
+
+
+def list_jobs(base_url: str, *, timeout: float = 10.0) -> Dict[str, Any]:
+    """GET the job listing (documents + queue depth + state counts)."""
+    return _request(base_url, "/jobs", timeout=timeout)
+
+
+def get_metrics(base_url: str, *, timeout: float = 10.0) -> str:
+    """GET the raw ``/metrics`` exposition text (not JSON).
+
+    Parse it with :func:`repro.obs.promexp.parse_prometheus_text` --
+    ``repro top``, the exposition-format tests and the CI smoke all go
+    through that one grammar.
+    """
+    url = base_url.rstrip("/") + "/metrics"
+    request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.read().decode("utf8")
+    except urllib.error.HTTPError as exc:
+        raise ServiceClientError(exc.code, {"error": str(exc)}) from None
 
 
 def wait_for_job(

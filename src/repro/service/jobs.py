@@ -72,8 +72,10 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 from repro.core.parallel import PoolExhaustedError, TrialTimeoutError
 from repro.core.rng import DEFAULT_SEED
 from repro.obs.metrics import MetricsRecorder
+from repro.obs.promexp import TelemetryRegistry, get_registry
 from repro.obs.provenance import git_sha, utc_timestamp
-from repro.obs.log import get_logger
+from repro.obs.log import get_logger, job_logger
+from repro.obs.spans import attempt_span_id
 from repro.service.store import JobStore
 
 __all__ = [
@@ -334,6 +336,22 @@ class JobSpec:
         )
         return max(1, min(8, math.ceil(cells / 8)))
 
+    @property
+    def trial_total(self) -> Optional[int]:
+        """Expected trial count, where the spec determines it.
+
+        Chaos sweeps run exactly ``protocols x ns x trials`` trials;
+        run/bench totals depend on the experiment body, so ``None``.
+        Feeds the ``repro top`` per-job progress bars.
+        """
+        if self.kind != "chaos":
+            return None
+        return (
+            len(self.params["protocols"])
+            * len(self.params["ns"])
+            * int(self.params["trials"])
+        )
+
 
 # ---------------------------------------------------------------------------
 # Execution (runs inside the executor thread; workers do the trials)
@@ -484,6 +502,8 @@ class Job:
         self.exec_seconds = 0.0
         self.result: Optional[Dict[str, Any]] = None
         self.event_counts: Dict[str, int] = {}
+        #: Trials whose span closed, across attempts (live progress).
+        self.trials_done = 0
         #: Cancellation: the flag is read on the event loop, the event
         #: is polled by the executing sweep's recorder hooks.
         self.cancel_requested = False
@@ -509,8 +529,22 @@ class Job:
         """Append to the replay buffer and fan out to live subscribers.
 
         Must run on the event loop thread; executor threads hop over
-        via ``loop.call_soon_threadsafe``.
+        via ``loop.call_soon_threadsafe``.  Live progress rides along:
+        event counts and closed trial spans are tallied here so
+        ``GET /jobs`` shows movement *during* a sweep (the recorder's
+        authoritative counts overwrite the tallies at completion).
         """
+        rtype = record.get("type")
+        if rtype == "event" and isinstance(record.get("kind"), str):
+            kind = record["kind"]
+            self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+        elif (
+            rtype == "span"
+            and record.get("op") == "end"
+            and record.get("kind") == "trial"
+            and record.get("status") == "ok"
+        ):
+            self.trials_done += 1
         self._event_seq += 1
         entry = (self._event_seq, record)
         self.events.append(entry)
@@ -548,6 +582,10 @@ class Job:
         }
         if self.cancel_requested:
             document["cancel_requested"] = True
+        if self.trials_done:
+            document["trials_done"] = self.trials_done
+        if self.spec.trial_total is not None:
+            document["trials_total"] = self.spec.trial_total
         if self.error is not None:
             document["error"] = self.error
         if self.wall_seconds is not None:
@@ -569,8 +607,9 @@ class _ForwardingRecorder(MetricsRecorder):
 
     The recorder doubles as the job's cancellation channel: its hooks
     are the one code path that reaches into a running sweep from
-    outside, firing between trials (checkpoint writes) and inside
-    serial trials (samples).  When the job's cancel event is set, the
+    outside, firing between trials (checkpoint writes, trial span
+    begins) and inside serial trials (samples).  When the job's cancel
+    event is set, the
     next hook raises :class:`JobCancelled`, unwinding the sweep with
     every completed trial already drained to the checkpoint.
     """
@@ -600,6 +639,19 @@ class _ForwardingRecorder(MetricsRecorder):
         super().sample(t=t, **fields)
         self._forward({"type": "sample", "t": t, **fields})
 
+    def begin_span(self, kind: str, span_id: str, **kwargs: Any) -> None:
+        self._check_cancelled()
+        super().begin_span(kind, span_id, **kwargs)
+        self._forward({"type": "span", **self.spans[-1]})
+
+    def end_span(self, span_id: str, status: str = "ok", **fields: Any) -> None:
+        # Deliberately no cancel check: span closure is unwind work --
+        # raising here would leave the tree dangling mid-cancellation.
+        was_open = span_id in self.open_spans
+        super().end_span(span_id, status=status, **fields)
+        if was_open:
+            self._forward({"type": "span", **self.spans[-1]})
+
 
 class JobManager:
     """Bounded-queue concurrent job execution with crash recovery.
@@ -625,6 +677,7 @@ class JobManager:
         backoff_cap: float = 30.0,
         ledger_path: Optional[str] = None,
         default_workers: Optional[int] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
@@ -633,6 +686,9 @@ class JobManager:
         if retry_budget < 1:
             raise ValueError(f"retry_budget must be >= 1, got {retry_budget}")
         self.store = store
+        #: Process-wide operational metrics (served by ``GET /metrics``).
+        #: Tests pass their own registry to isolate counts.
+        self.telemetry = telemetry if telemetry is not None else get_registry()
         self.max_queue = max_queue
         self.concurrency = concurrency
         self.job_timeout = job_timeout
@@ -765,6 +821,36 @@ class JobManager:
         per_slot = self._mean_wall * max(1, backlog) / max(1, self.concurrency)
         return max(1.0, round(per_slot, 1))
 
+    # -- telemetry ------------------------------------------------------
+
+    def update_gauges(self) -> None:
+        """Refresh the point-in-time gauges (called on every transition
+        and defensively at scrape time from ``GET /metrics``)."""
+        counts = self.counts()
+        for state in ("queued", "running", "retrying") + TERMINAL_STATES:
+            self.telemetry.gauge(
+                "repro_jobs",
+                counts.get(state, 0),
+                labels={"state": state},
+                help_text="Jobs known to the manager, by lifecycle state.",
+            )
+        self.telemetry.gauge(
+            "repro_queue_depth",
+            self.queue_depth(),
+            help_text="Jobs waiting in the queue.",
+        )
+        self.telemetry.gauge(
+            "repro_queue_weight",
+            self.backlog_weight(),
+            help_text="Weighted admission backlog (queued + retrying).",
+        )
+        self.telemetry.gauge(
+            "repro_job_wall_seconds_ema",
+            round(self._mean_wall, 6),
+            help_text="Exponential moving average of job execution "
+                      "wall seconds (feeds Retry-After).",
+        )
+
     def submit(self, payload: Any) -> Tuple[Job, bool]:
         """Admit one job payload; returns ``(job, created)``.
 
@@ -779,12 +865,39 @@ class JobManager:
         job_id = f"job-{cache_key[:16]}"
         existing = self.jobs.get(job_id)
         if existing is not None and existing.state not in ("failed", "cancelled"):
+            self.telemetry.counter(
+                "repro_jobs_deduplicated_total",
+                help_text="Submissions answered by an existing job "
+                          "(idempotent resubmission).",
+            )
             return existing, False
         # A previously failed or cancelled job may be resubmitted:
         # fresh attempt budget, same identity, same checkpoint
         # (trials completed before the failure/cancel still count).
         if self.backlog_weight() + spec.weight > self.max_queue:
-            raise AdmissionError(self.retry_after_estimate())
+            retry_after = self.retry_after_estimate()
+            self.telemetry.counter(
+                "repro_admission_rejected_total",
+                help_text="Submissions rejected because the weighted "
+                          "queue was full (HTTP 429).",
+            )
+            job_logger(logger, job_id).warning(
+                "admission rejected: kind=%s weight=%d backlog=%d/%d "
+                "retry_after=%.1fs",
+                spec.kind, spec.weight, self.backlog_weight(),
+                self.max_queue, retry_after,
+            )
+            raise AdmissionError(retry_after)
+        self.telemetry.counter(
+            "repro_jobs_submitted_total",
+            labels={"kind": spec.kind},
+            help_text="Jobs admitted to the queue, by kind.",
+        )
+        job_logger(logger, job_id).info(
+            "admitted: kind=%s weight=%d priority=%d backlog=%d/%d",
+            spec.kind, spec.weight, spec.priority,
+            self.backlog_weight() + spec.weight, self.max_queue,
+        )
         job = Job(job_id, spec, cache_key)
         if existing is not None:
             job.attempt = 0
@@ -825,6 +938,9 @@ class JobManager:
         if job.terminal:
             return job
         job.request_cancel()
+        job_logger(logger, job.id).info(
+            "cancel requested while %s", job.state
+        )
         if job.state in ("queued", "retrying"):
             handle = self._retry_handles.pop(job.id, None)
             if handle is not None:
@@ -861,6 +977,33 @@ class JobManager:
             {"job": job.id, "state": state, "attempt": job.attempt,
              "ts": round(job.updated_unix, 3), **fields}
         )
+        self.telemetry.counter(
+            "repro_job_transitions_total",
+            labels={"state": state},
+            help_text="Job state transitions, by target state.",
+        )
+        if state == "retrying":
+            self.telemetry.counter(
+                "repro_job_retries_total",
+                help_text="Retry attempts scheduled for retryable failures.",
+            )
+        elif state == "cancelled":
+            self.telemetry.counter(
+                "repro_jobs_cancelled_total",
+                help_text="Jobs that reached the cancelled state.",
+            )
+        elif state == "failed":
+            self.telemetry.counter(
+                "repro_jobs_failed_total",
+                help_text="Jobs that reached the failed state.",
+            )
+        elif state == "done":
+            self.telemetry.counter(
+                "repro_jobs_completed_total",
+                labels={"kind": job.spec.kind},
+                help_text="Jobs that completed successfully, by kind.",
+            )
+        self.update_gauges()
         job.publish({"type": "state", "state": state, "attempt": job.attempt,
                      **{k: v for k, v in fields.items() if k != "payload"}})
 
@@ -886,6 +1029,7 @@ class JobManager:
 
     async def _run_job(self, job: Job) -> None:
         """Run one attempt of ``job`` on this worker's slot."""
+        log = job_logger(logger, job.id)
         # Result-cache short circuit: identical (spec, seed, sha) work
         # already completed -- serve it with zero trial executions.
         cached = self.store.load_result(job.cache_key)
@@ -894,12 +1038,45 @@ class JobManager:
             job.cache_hit = True
             job.wall_seconds = 0.0
             job.event_counts = dict(cached.get("event_counts", {}))
+            self.telemetry.counter(
+                "repro_job_cache_hits_total",
+                help_text="Jobs served from the result cache with zero "
+                          "trial executions.",
+            )
+            log.info("served from result cache (key %s)", job.cache_key[:16])
             self._transition(job, "done", cache_hit=True, wall_seconds=0.0)
             self._ledger(job)
             return
         loop = asyncio.get_running_loop()
+        telemetry = self.telemetry
 
         def forward(record: Dict[str, Any]) -> None:
+            # Runs on the executor thread; the registry is thread-safe,
+            # the publish hops onto the event loop.
+            rtype = record.get("type")
+            if rtype == "event":
+                telemetry.counter(
+                    "repro_recorder_events_total",
+                    labels={"kind": str(record.get("kind"))},
+                    help_text="Recorder events streamed from running "
+                              "jobs, by event kind.",
+                )
+            elif rtype == "sample":
+                telemetry.counter(
+                    "repro_recorder_samples_total",
+                    help_text="Recorder samples streamed from running jobs.",
+                )
+            elif (
+                rtype == "span"
+                and record.get("op") == "end"
+                and record.get("kind") == "trial"
+            ):
+                telemetry.counter(
+                    "repro_trials_completed_total",
+                    labels={"status": str(record.get("status"))},
+                    help_text="Trial spans closed across all jobs, by "
+                              "terminal status (throughput feed).",
+                )
             loop.call_soon_threadsafe(job.publish, record)
 
         job.attempt += 1
@@ -910,15 +1087,30 @@ class JobManager:
             spec = JobSpec(
                 spec.kind, {**spec.params, "workers": self.default_workers}
             )
+        attempt_span = attempt_span_id(job.id, job.attempt)
         started = time.perf_counter()
         try:
+            # The causal root of everything this attempt does: trial
+            # spans opened by the runner parent under the attempt.
+            # Opened inside the try block because begin_span doubles as
+            # a cancellation point.
+            recorder.begin_span("job", job.id, name=job.spec.kind)
+            recorder.begin_span(
+                "attempt", attempt_span, parent=job.id, attempt=job.attempt
+            )
             body = await self._execute(spec, job, recorder)
         except RETRYABLE as exc:
             job.exec_seconds += time.perf_counter() - started
             if job.cancel_requested:
+                recorder.close_open_spans("cancelled")
                 self._finish_cancelled(job)
                 return
             if job.attempt >= self.retry_budget:
+                recorder.close_open_spans("failed")
+                log.warning(
+                    "failed: retry budget exhausted after %d attempt(s): %s",
+                    job.attempt, exc,
+                )
                 self._transition(
                     job, "failed",
                     error=f"retry budget exhausted after "
@@ -927,6 +1119,14 @@ class JobManager:
                 self._ledger(job)
                 return
             backoff = self._backoff(job.attempt)
+            # The whole span stack closes "retried": the next attempt
+            # re-begins the same job span id (legal for a closed span)
+            # under a fresh attempt id.
+            recorder.close_open_spans("retried")
+            log.warning(
+                "retrying (attempt %d/%d) in %.2fs: %s",
+                job.attempt, self.retry_budget, backoff, exc,
+            )
             self._transition(
                 job, "retrying", error=str(exc),
                 backoff_seconds=round(backoff, 3),
@@ -939,6 +1139,8 @@ class JobManager:
             # be killed); flag cancellation so it unwinds at its next
             # recorder hook instead of occupying a pool slot forever.
             job.request_cancel(reason=f"job timeout of {self.job_timeout}s")
+            recorder.close_open_spans("failed")
+            log.warning("failed: exceeded job timeout of %ss", self.job_timeout)
             self._transition(
                 job, "failed",
                 error=f"exceeded job timeout of {self.job_timeout}s",
@@ -950,16 +1152,35 @@ class JobManager:
             if job.cancel_requested:
                 # The sweep unwound via JobCancelled (possibly wrapped
                 # by an intermediate layer): completed trials are in
-                # the checkpoint, the slot frees now.
+                # the checkpoint, the slot frees now.  Open spans --
+                # including any trial span the unwind interrupted --
+                # close "cancelled", innermost first, so the SSE stream
+                # carries a well-formed tree.
+                recorder.close_open_spans("cancelled")
+                log.info("cancelled mid-run (%s)", job.cancel_reason)
                 self._finish_cancelled(job)
                 return
+            recorder.close_open_spans("failed")
+            log.warning("failed: %s: %s", type(exc).__name__, exc)
             self._transition(job, "failed", error=f"{type(exc).__name__}: {exc}")
             self._ledger(job)
             return
+        recorder.end_span(attempt_span, status="ok")
+        recorder.end_span(job.id, status="ok")
         job.exec_seconds += time.perf_counter() - started
         wall = job.exec_seconds
         job.wall_seconds = wall
         self._mean_wall = 0.7 * self._mean_wall + 0.3 * wall
+        self.telemetry.observe(
+            "repro_job_wall_seconds",
+            wall,
+            labels={"kind": job.spec.kind},
+            help_text="Job execution wall time (backoff excluded), by kind.",
+        )
+        log.info(
+            "done: ok=%s wall=%.3fs attempt=%d",
+            body.get("ok"), wall, job.attempt,
+        )
         job.event_counts = dict(recorder.event_counts)
         document = {
             "cache_key": job.cache_key,

@@ -1,0 +1,205 @@
+"""Tests for the Prometheus exporter (:mod:`repro.obs.promexp`).
+
+Contracts: the rendered text is valid exposition format (one HELP/TYPE
+per family, samples sorted deterministically, label values escaped),
+counters are monotone, histograms publish cumulative buckets with
+``+Inf`` equal to the count, and the shared parser round-trips every
+value the renderer emits while rejecting malformed lines -- the same
+grammar ``repro top`` and the CI smoke scrape through.
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.promexp import (
+    TelemetryRegistry,
+    escape_label_value,
+    get_registry,
+    parse_prometheus_text,
+    reset_registry,
+)
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        registry = TelemetryRegistry()
+        registry.counter("repro_jobs_total", 1)
+        registry.counter("repro_jobs_total", 2)
+        assert registry.value("repro_jobs_total") == 3
+
+    def test_negative_increment_raises(self):
+        registry = TelemetryRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("repro_jobs_total", -1)
+
+    def test_labels_partition_the_family(self):
+        registry = TelemetryRegistry()
+        registry.counter("repro_jobs_total", 1, labels={"kind": "chaos"})
+        registry.counter("repro_jobs_total", 5, labels={"kind": "bench"})
+        assert registry.value("repro_jobs_total", {"kind": "chaos"}) == 1
+        assert registry.value("repro_jobs_total", {"kind": "bench"}) == 5
+
+    def test_counters_monotone_across_scrapes(self):
+        registry = TelemetryRegistry()
+        registry.counter("repro_events_total", 3)
+        first = parse_prometheus_text(registry.render())
+        registry.counter("repro_events_total", 2)
+        second = parse_prometheus_text(registry.render())
+        (before,) = first["repro_events_total"]["samples"].values()
+        (after,) = second["repro_events_total"]["samples"].values()
+        assert after >= before
+
+
+class TestGauges:
+    def test_gauge_overwrites(self):
+        registry = TelemetryRegistry()
+        registry.gauge("repro_queue_depth", 4)
+        registry.gauge("repro_queue_depth", 1)
+        assert registry.value("repro_queue_depth") == 1
+
+    def test_gauge_may_go_negative(self):
+        registry = TelemetryRegistry()
+        registry.gauge("repro_drift", -2.5)
+        assert registry.value("repro_drift") == -2.5
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_and_inf_equals_count(self):
+        registry = TelemetryRegistry()
+        for value in (0.01, 0.2, 0.2, 7.0):
+            registry.observe("repro_wall_seconds", value)
+        text = registry.render()
+        families = parse_prometheus_text(text)
+        samples = families["repro_wall_seconds"]["samples"]
+        buckets = {
+            dict(labels)["le"]: count
+            for labels, count in samples.items()
+            if dict(labels).get("__suffix__") == "_bucket"
+        }
+        counts = [buckets[le] for le in sorted(buckets, key=float)]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        count = next(
+            value for labels, value in samples.items()
+            if dict(labels).get("__suffix__") == "_count"
+        )
+        total = next(
+            value for labels, value in samples.items()
+            if dict(labels).get("__suffix__") == "_sum"
+        )
+        assert buckets["+Inf"] == count == 4
+        assert total == pytest.approx(7.41)
+
+    def test_histogram_renders_type_line(self):
+        registry = TelemetryRegistry()
+        registry.observe("repro_wall_seconds", 1.0)
+        text = registry.render()
+        assert "# TYPE repro_wall_seconds histogram" in text
+        assert 'repro_wall_seconds_bucket{le="+Inf"} 1' in text
+
+
+class TestRendering:
+    def test_one_help_and_type_line_per_family(self):
+        registry = TelemetryRegistry()
+        registry.counter("repro_a_total", 1, labels={"k": "x"},
+                         help_text="A total.")
+        registry.counter("repro_a_total", 1, labels={"k": "y"})
+        registry.gauge("repro_b", 2, help_text="B gauge.")
+        text = registry.render()
+        assert text.count("# TYPE repro_a_total counter") == 1
+        assert text.count("# HELP repro_a_total A total.") == 1
+        assert text.count("# TYPE repro_b gauge") == 1
+
+    def test_render_is_deterministic(self):
+        def build():
+            registry = TelemetryRegistry()
+            registry.counter("repro_z_total", 1, labels={"kind": "b"})
+            registry.counter("repro_a_total", 1)
+            registry.counter("repro_z_total", 1, labels={"kind": "a"})
+            return registry.render()
+
+        assert build() == build()
+
+    def test_integer_values_render_bare(self):
+        registry = TelemetryRegistry()
+        registry.counter("repro_n_total", 3)
+        assert "repro_n_total 3\n" in registry.render()
+
+    def test_label_escaping_round_trips(self):
+        tricky = 'quote " backslash \\ newline \n end'
+        registry = TelemetryRegistry()
+        registry.counter("repro_esc_total", 1, labels={"path": tricky})
+        families = parse_prometheus_text(registry.render())
+        (labels,) = families["repro_esc_total"]["samples"]
+        assert dict(labels)["path"] == tricky
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestParser:
+    def test_round_trips_rendered_values(self):
+        registry = TelemetryRegistry()
+        registry.counter("repro_jobs_total", 2, labels={"kind": "chaos"})
+        registry.gauge("repro_queue_depth", 3)
+        registry.observe("repro_wall_seconds", 0.3)
+        families = parse_prometheus_text(registry.render())
+        assert families["repro_jobs_total"]["type"] == "counter"
+        assert families["repro_queue_depth"]["type"] == "gauge"
+        assert families["repro_wall_seconds"]["type"] == "histogram"
+        key = (("kind", "chaos"),)
+        assert families["repro_jobs_total"]["samples"][key] == 2
+
+    def test_special_float_values(self):
+        registry = TelemetryRegistry()
+        registry.gauge("repro_nan", float("nan"))
+        registry.gauge("repro_inf", float("inf"))
+        families = parse_prometheus_text(registry.render())
+        (nan,) = families["repro_nan"]["samples"].values()
+        (inf,) = families["repro_inf"]["samples"].values()
+        assert math.isnan(nan)
+        assert inf == float("inf")
+
+    @pytest.mark.parametrize("line", [
+        "no_value_here",
+        'bad_label{k=unquoted} 1',
+        "name 1 2 3 4",
+        "# TYPE only_two",
+    ])
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(line + "\n")
+
+
+class TestRegistryLifecycle:
+    def test_process_wide_default_survives_calls(self):
+        reset_registry()
+        get_registry().counter("repro_x_total", 1)
+        assert get_registry().value("repro_x_total") == 1
+        reset_registry()
+        assert get_registry().value("repro_x_total") is None
+
+    def test_snapshot_shapes(self):
+        registry = TelemetryRegistry()
+        registry.counter("repro_c_total", 2, labels={"kind": "run"})
+        registry.gauge("repro_g", 1.5)
+        registry.observe("repro_h", 0.2)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_c_total"]["type"] == "counter"
+        assert snapshot["repro_g"]["type"] == "gauge"
+        assert snapshot["repro_h"]["type"] == "histogram"
+
+    def test_thread_safety_under_contention(self):
+        registry = TelemetryRegistry()
+
+        def spin():
+            for _ in range(500):
+                registry.counter("repro_spin_total", 1)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.value("repro_spin_total") == 2000

@@ -1,0 +1,199 @@
+"""Tests for causal spans (:mod:`repro.obs.spans`) and their recorder.
+
+Contracts: span ids are deterministic functions of job/trial identity,
+the stream validator enforces the tree invariants (a begin needs a
+live parent, no double-open, no dangling opens) while allowing the
+retry idiom (a closed span may re-begin under the same identity), the
+recorder's begin/end bookkeeping round-trips through a trace file, and
+wall-clock timing appears only under profiling -- recorded traces stay
+byte-deterministic otherwise.
+"""
+
+import pytest
+
+from repro.obs import (
+    MetricsRecorder,
+    TraceWriter,
+    attempt_span_id,
+    build_span_tree,
+    read_trace,
+    stage_span_id,
+    validate_spans,
+    validate_trace,
+)
+from repro.obs.spans import SPAN_SCHEMA_VERSION
+
+
+def begin(span_id, kind="trial", parent=None, **fields):
+    record = {
+        "span_schema": SPAN_SCHEMA_VERSION,
+        "op": "begin",
+        "id": span_id,
+        "kind": kind,
+        **fields,
+    }
+    if parent is not None:
+        record["parent"] = parent
+    return record
+
+
+def end(span_id, status="ok", **fields):
+    return {
+        "span_schema": SPAN_SCHEMA_VERSION,
+        "op": "end",
+        "id": span_id,
+        "status": status,
+        **fields,
+    }
+
+
+class TestSpanIds:
+    def test_attempt_id_is_job_slash_attempt(self):
+        assert attempt_span_id("job-abc", 2) == "job-abc/a2"
+
+    def test_stage_id_is_parent_hash_stage(self):
+        assert stage_span_id("7:chaos:0", "delta") == "7:chaos:0#delta"
+
+
+class TestValidateSpans:
+    def test_wellformed_tree_validates_clean(self):
+        records = [
+            begin("j", kind="job"),
+            begin("j/a1", kind="attempt", parent="j"),
+            begin("t0", kind="trial", parent="j/a1"),
+            end("t0"),
+            end("j/a1"),
+            end("j"),
+        ]
+        assert validate_spans(records) == []
+
+    def test_begin_while_open_is_a_problem(self):
+        records = [begin("x"), begin("x"), end("x")]
+        problems = validate_spans(records)
+        assert any("already open" in p for p in problems)
+
+    def test_rebegin_after_close_is_legal(self):
+        """The retry idiom: a pool-broken trial (or a retried job)
+        closes and re-runs under the same identity."""
+        records = [begin("x"), end("x", status="retried"), begin("x"), end("x")]
+        assert validate_spans(records) == []
+
+    def test_end_without_begin_is_a_problem(self):
+        assert any("not open" in p for p in validate_spans([end("ghost")]))
+
+    def test_parent_must_be_open_at_begin(self):
+        records = [begin("p"), end("p"), begin("c", parent="p"), end("c")]
+        problems = validate_spans(records)
+        assert any("parent" in p for p in problems)
+
+    def test_dangling_open_is_a_problem(self):
+        problems = validate_spans([begin("x")])
+        assert any("never closed" in p or "open at end" in p for p in problems)
+
+    def test_bad_kind_and_status_flagged(self):
+        records = [begin("x", kind="banana"), end("x", status="meh")]
+        problems = validate_spans(records)
+        assert len(problems) >= 2
+
+    def test_unknown_schema_version_flagged(self):
+        record = begin("x")
+        record["span_schema"] = 99
+        problems = validate_spans([record, end("x")])
+        assert any("schema" in p for p in problems)
+
+
+class TestBuildSpanTree:
+    def test_tree_structure(self):
+        records = [
+            begin("j", kind="job"),
+            begin("j/a1", kind="attempt", parent="j"),
+            begin("t0", kind="trial", parent="j/a1"),
+            end("t0"),
+            end("j/a1"),
+            end("j"),
+        ]
+        roots, by_id = build_span_tree(records)
+        assert [node.span_id for node in roots] == ["j"]
+        assert [node.span_id for node in by_id["j"].children] == ["j/a1"]
+        assert [node.span_id for node in by_id["j/a1"].children] == ["t0"]
+        assert [node.span_id for node in roots[0].walk()] == ["j", "j/a1", "t0"]
+
+    def test_orphan_parent_becomes_root(self):
+        """A span whose parent never appears in the stream (a shard
+        viewed in isolation) roots itself rather than vanishing."""
+        records = [begin("t0", parent="elsewhere"), end("t0")]
+        roots, _ = build_span_tree(records)
+        assert [node.span_id for node in roots] == ["t0"]
+
+
+class TestRecorderSpans:
+    def test_begin_end_bookkeeping(self):
+        recorder = MetricsRecorder()
+        recorder.begin_span("job", "j", name="chaos")
+        recorder.begin_span("attempt", "j/a1", parent="j", attempt=1)
+        assert list(recorder.open_spans) == ["j", "j/a1"]
+        recorder.end_span("j/a1")
+        recorder.end_span("j")
+        assert recorder.open_spans == {}
+        assert validate_spans(recorder.spans) == []
+        # end copies the begin's kind so a lone end record is typed
+        assert recorder.spans[-1]["kind"] == "job"
+
+    def test_end_is_idempotent_for_unknown_ids(self):
+        recorder = MetricsRecorder()
+        recorder.end_span("never-begun")
+        assert recorder.spans == []
+
+    def test_close_open_spans_closes_innermost_first(self):
+        recorder = MetricsRecorder()
+        recorder.begin_span("job", "j")
+        recorder.begin_span("attempt", "j/a1", parent="j")
+        recorder.begin_span("trial", "t0", parent="j/a1")
+        closed = recorder.close_open_spans("cancelled")
+        assert closed == 3
+        ends = [r for r in recorder.spans if r["op"] == "end"]
+        assert [r["id"] for r in ends] == ["t0", "j/a1", "j"]
+        assert all(r["status"] == "cancelled" for r in ends)
+        assert validate_spans(recorder.spans) == []
+
+    def test_invalid_kind_and_status_raise(self):
+        recorder = MetricsRecorder()
+        with pytest.raises(ValueError):
+            recorder.begin_span("banana", "x")
+        recorder.begin_span("trial", "x")
+        with pytest.raises(ValueError):
+            recorder.end_span("x", status="meh")
+
+    def test_wall_seconds_only_under_profile(self):
+        recorder = MetricsRecorder()
+        recorder.begin_span("trial", "t0")
+        recorder.end_span("t0")
+        assert "wall_seconds" not in recorder.spans[-1]
+        profiled = MetricsRecorder(profile=True)
+        profiled.begin_span("trial", "t0")
+        profiled.end_span("t0")
+        assert profiled.spans[-1]["wall_seconds"] >= 0.0
+
+    def test_spans_round_trip_through_a_trace(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = TraceWriter(path)
+        recorder = MetricsRecorder(trace=writer)
+        recorder.begin_span("job", "j", name="chaos")
+        recorder.end_span("j")
+        writer.close()
+        assert validate_trace(path) == []
+        spans = [r for r in read_trace(path) if r.get("type") == "span"]
+        assert [r["op"] for r in spans] == ["begin", "end"]
+        stripped = [
+            {k: v for k, v in r.items() if k not in ("type", "v")}
+            for r in spans
+        ]
+        assert validate_spans(stripped) == []
+
+    def test_aggregates_count_spans_only_when_present(self):
+        recorder = MetricsRecorder()
+        assert "spans" not in recorder.aggregates()
+        recorder.begin_span("job", "j")
+        recorder.end_span("j")
+        assert recorder.aggregates()["spans"] == 2
+        assert recorder.to_json()["spans"] == recorder.spans

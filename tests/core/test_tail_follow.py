@@ -1,0 +1,135 @@
+"""Tests for ``repro tail --follow`` (:func:`repro.obs.tail.follow_trace`).
+
+Contracts: records already on disk replay first, appended records
+stream as they land, a partial line (a write in progress) is never
+parsed until its newline arrives, truncation or replacement of the
+file reopens it from the top, and the ``stop`` callable ends the
+otherwise-infinite iterator at the next idle poll.
+"""
+
+import json
+import os
+
+from repro.obs.tail import follow_trace, format_record
+
+
+def write_lines(path, records, mode="a"):
+    with open(path, mode, encoding="utf8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class TestFollowTrace:
+    def test_replays_then_streams_appends(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_lines(path, [{"type": "sample", "t": 0.0}], mode="w")
+        gen = follow_trace(path, poll=0.01)
+        assert next(gen) == {"type": "sample", "t": 0.0}
+        write_lines(path, [{"type": "event", "kind": "convergence"}])
+        assert next(gen)["kind"] == "convergence"
+        gen.close()
+
+    def test_partial_line_waits_for_newline(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_lines(path, [{"type": "sample", "t": 0.0}], mode="w")
+        with open(path, "a", encoding="utf8") as handle:
+            handle.write('{"type": "sample", ')  # torn write, no newline
+        polls = []
+
+        def stop():
+            polls.append(1)
+            return len(polls) >= 2
+
+        records = list(follow_trace(path, poll=0.0, stop=stop))
+        assert records == [{"type": "sample", "t": 0.0}]
+        # Completing the line makes the record appear on a fresh follow.
+        with open(path, "a", encoding="utf8") as handle:
+            handle.write('"t": 1.0}\n')
+        gen = follow_trace(path, poll=0.01)
+        assert next(gen)["t"] == 0.0
+        assert next(gen)["t"] == 1.0
+        gen.close()
+
+    def test_truncation_reopens_from_top(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_lines(path, [{"type": "sample", "t": 0.0},
+                           {"type": "sample", "t": 1.0}], mode="w")
+        gen = follow_trace(path, poll=0.01)
+        assert next(gen)["t"] == 0.0
+        assert next(gen)["t"] == 1.0
+        # A restarted run recreates its trace: shorter file, new content.
+        write_lines(path, [{"type": "sample", "t": 9.0}], mode="w")
+        assert next(gen)["t"] == 9.0
+        gen.close()
+
+    def test_replacement_reopens_new_inode(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_lines(path, [{"type": "sample", "t": 0.0}], mode="w")
+        gen = follow_trace(path, poll=0.01)
+        assert next(gen)["t"] == 0.0
+        fresh = str(tmp_path / "fresh.jsonl")
+        # Same length as the original so only the inode check can
+        # notice the swap.
+        write_lines(fresh, [{"type": "sample", "t": 5.0}], mode="w")
+        os.replace(fresh, path)
+        assert next(gen)["t"] == 5.0
+        gen.close()
+
+    def test_missing_file_polls_until_it_exists(self, tmp_path):
+        path = str(tmp_path / "late.jsonl")
+        appeared = []
+
+        def stop():
+            if not appeared:
+                write_lines(path, [{"type": "sample", "t": 3.0}], mode="w")
+                appeared.append(1)
+                return False
+            return True
+
+        gen = follow_trace(path, poll=0.0, stop=stop)
+        assert next(gen)["t"] == 3.0
+        gen.close()
+
+    def test_unparseable_line_skipped(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w", encoding="utf8") as handle:
+            handle.write("{torn\n")
+            handle.write('{"type": "sample", "t": 2.0}\n')
+        gen = follow_trace(path, poll=0.01)
+        assert next(gen)["t"] == 2.0
+        gen.close()
+
+    def test_stop_ends_iteration(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_lines(path, [{"type": "sample", "t": 0.0}], mode="w")
+        records = list(follow_trace(path, poll=0.0, stop=lambda: True))
+        assert records == [{"type": "sample", "t": 0.0}]
+
+
+class TestFormatRecord:
+    def test_sample_line(self):
+        line = format_record({"type": "sample", "t": 1.5, "leaders": 2,
+                              "rank_coverage": 0.75, "v": 1})
+        assert line.startswith("sample t=1.5")
+        assert "leaders=2" in line
+        assert "v=1" not in line
+
+    def test_event_line(self):
+        line = format_record({"type": "event", "kind": "convergence",
+                              "t": 4.0, "v": 1})
+        assert line.startswith("event convergence")
+        assert "t=4.0" in line
+
+    def test_span_lines(self):
+        assert format_record(
+            {"type": "span", "op": "begin", "kind": "trial", "id": "7:x:0",
+             "parent": "job-1/a1"}
+        ) == "span begin trial 7:x:0  parent=job-1/a1"
+        assert format_record(
+            {"type": "span", "op": "end", "kind": "trial", "id": "7:x:0",
+             "status": "ok"}
+        ) == "span end trial 7:x:0  status=ok"
+
+    def test_unknown_record_falls_back_to_json(self):
+        assert format_record({"type": "header", "v": 1}) == \
+            '{"type": "header", "v": 1}'

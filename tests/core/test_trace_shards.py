@@ -25,6 +25,7 @@ from repro.obs import (
     recording,
     shard_path,
     span_id,
+    validate_spans,
     validate_trace,
 )
 from repro.obs.context import current_recorder
@@ -113,6 +114,69 @@ class TestShardMergeDeterminism:
         path, _ = _traced_run(tmp_path, 2, trials=3, profile=True)
         aggregates = [r for r in read_trace(path) if r.get("type") == "aggregate"]
         assert [record["trial"] for record in aggregates] == [0, 1, 2]
+
+
+class TestTrialSpans:
+    def test_merged_trace_carries_wellformed_trial_spans(self, tmp_path):
+        path, _ = _traced_run(tmp_path, 2, trials=3)
+        records = read_trace(path)
+        spans = [r for r in records if r.get("type") == "span"]
+        assert len(spans) == 6  # begin + end per trial
+        assert validate_spans(records) == []
+        begins = [r for r in spans if r["op"] == "begin"]
+        assert [r["id"] for r in begins] == [
+            span_id(99, ("shards",), index) for index in range(3)
+        ]
+        # A bare CLI run has no service job/attempt above the trials.
+        assert all("parent" not in r for r in begins)
+        assert all(r["kind"] == "trial" for r in begins)
+
+    def test_span_stream_identical_serial_vs_pooled(self, tmp_path):
+        """Covered byte-for-byte by the merge test above; this pins the
+        span subset specifically so a regression names the culprit."""
+        serial_path, _ = _traced_run(tmp_path, 1, trials=4)
+        parallel_path, _ = _traced_run(tmp_path, 2, trials=4)
+        def spans(path):
+            return [r for r in read_trace(path) if r.get("type") == "span"]
+        assert spans(serial_path) == spans(parallel_path)
+
+    def test_profile_mode_times_trial_spans(self, tmp_path):
+        path, _ = _traced_run(tmp_path, 2, trials=2, profile=True)
+        ends = [r for r in read_trace(path)
+                if r.get("type") == "span" and r["op"] == "end"]
+        assert all(r["wall_seconds"] >= 0.0 for r in ends)
+        assert all(r["status"] == "ok" for r in ends)
+
+    def test_plain_mode_spans_carry_no_wallclock(self, tmp_path):
+        path, _ = _traced_run(tmp_path, 2, trials=2)
+        spans = [r for r in read_trace(path) if r.get("type") == "span"]
+        assert all("wall_seconds" not in r for r in spans)
+
+
+class TestKeepShards:
+    def _run(self, tmp_path, *, keep_shards, name):
+        path = str(tmp_path / f"trace_{name}.jsonl")
+        writer = TraceWriter(path)
+        recorder = MetricsRecorder(
+            sample_every=1, trace=writer, keep_shards=keep_shards
+        )
+        with recording(recorder):
+            ParallelTrialRunner(2).map_trials(
+                sampling_draw, seed=99, labels=("shards",), trials=3
+            )
+        writer.close()
+        return path
+
+    def test_no_keep_shards_removes_files_after_merge(self, tmp_path):
+        path = self._run(tmp_path, keep_shards=False, name="drop")
+        assert glob.glob(path + ".shard-*.jsonl") == []
+        assert validate_trace(path) == []
+
+    def test_merged_trace_identical_either_way(self, tmp_path):
+        kept = self._run(tmp_path, keep_shards=True, name="keep")
+        dropped = self._run(tmp_path, keep_shards=False, name="drop")
+        assert _body(kept) == _body(dropped)
+        assert len(glob.glob(kept + ".shard-*.jsonl")) == 3
 
 
 class TestZeroCostWhenOff:

@@ -329,3 +329,58 @@ class TestJsonResponses:
             body = r.read()
             assert len(body) == int(r.headers["Content-Length"])
             json.loads(body)
+
+
+class TestMetricsEndpoint:
+    """``GET /metrics``: the Prometheus scrape surface.
+
+    The process-wide registry is shared across server fixtures in one
+    test process, so assertions are about *movement* (counters are
+    monotone) and presence, never absolute values.
+    """
+
+    def test_metrics_is_valid_exposition_text(self, server):
+        from repro.obs import parse_prometheus_text
+
+        text = client.get_metrics(server.base_url)
+        families = parse_prometheus_text(text)  # raises on malformed lines
+        assert "repro_queue_depth" in families
+        assert families["repro_queue_depth"]["type"] == "gauge"
+
+    def test_metrics_content_type_is_prometheus_text(self, server):
+        request = urllib.request.Request(server.base_url + "/metrics")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in response.headers["Content-Type"]
+
+    def test_counters_move_across_a_job(self, server):
+        from repro.obs import parse_prometheus_text
+
+        def counter(families, name, **labels):
+            family = families.get(name)
+            if family is None:
+                return 0.0
+            return sum(
+                value for key, value in family["samples"].items()
+                if all(dict(key).get(k) == v for k, v in labels.items())
+            )
+
+        before = parse_prometheus_text(client.get_metrics(server.base_url))
+        document = client.submit_job(server.base_url, "chaos", SMALL_CHAOS)
+        client.wait_for_job(server.base_url, document["id"], timeout=120)
+        after = parse_prometheus_text(client.get_metrics(server.base_url))
+        submitted = "repro_jobs_submitted_total"
+        completed = "repro_jobs_completed_total"
+        assert counter(after, submitted, kind="chaos") == \
+            counter(before, submitted, kind="chaos") + 1
+        assert counter(after, completed, kind="chaos") == \
+            counter(before, completed, kind="chaos") + 1
+        assert counter(after, "repro_job_transitions_total") > \
+            counter(before, "repro_job_transitions_total")
+
+    def test_healthz_snapshots_telemetry(self, server):
+        health = client.get_health(server.base_url)
+        telemetry = health["telemetry"]
+        assert "repro_queue_depth" in telemetry
+        # Histograms stay on /metrics; the snapshot is counters/gauges.
+        assert "repro_job_wall_seconds" not in telemetry

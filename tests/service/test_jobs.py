@@ -392,3 +392,196 @@ class TestRecovery:
         count_after_first = len(executed)
         assert run(second_life())
         assert len(executed) == count_after_first  # zero new executions
+
+
+class TestSpanTelemetry:
+    """Causal spans attached by the manager, and the counters they feed.
+
+    Contracts: a completed job publishes a well-formed span stream
+    (job -> attempt -> ... all closed ``ok``), a cancelled mid-run job
+    closes every open span ``cancelled`` on the way out, a retried job
+    closes its first attempt ``retried`` and re-begins the same job
+    identity, and the manager's telemetry registry counts the
+    lifecycle as monotone Prometheus counters.
+    """
+
+    def _payload(self, **spec):
+        return {"kind": "chaos",
+                "spec": {"protocols": ["ciw"], "ns": [8], "trials": 1, **spec}}
+
+    @staticmethod
+    def _span_records(job):
+        return [record for _, record in job.events
+                if record.get("type") == "span"]
+
+    def test_completed_job_has_wellformed_span_stream(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import build_span_tree, validate_spans
+        from repro.service import jobs as jobs_mod
+
+        monkeypatch.setattr(
+            jobs_mod, "execute_spec",
+            lambda spec, *, checkpoint=None, recorder=None:
+                {"ok": True, "result": {}},
+        )
+
+        async def body():
+            manager = JobManager(JobStore(str(tmp_path)))
+            await manager.start()
+            try:
+                job, _ = manager.submit(self._payload(seed=11))
+                for _ in range(200):
+                    if job.terminal:
+                        break
+                    await asyncio.sleep(0.02)
+                assert job.state == "done"
+                spans = self._span_records(job)
+                assert validate_spans(spans) == []
+                roots, by_id = build_span_tree(spans)
+                assert [node.span_id for node in roots] == [job.id]
+                assert roots[0].kind == "job"
+                assert roots[0].status == "ok"
+                (attempt,) = roots[0].children
+                assert attempt.kind == "attempt"
+                assert attempt.span_id == f"{job.id}/a1"
+                assert attempt.status == "ok"
+            finally:
+                await manager.stop()
+            return True
+
+        assert run(body())
+
+    def test_cancelled_job_closes_open_spans(self, tmp_path, monkeypatch):
+        import threading
+
+        from repro.obs import validate_spans
+        from repro.service import jobs as jobs_mod
+
+        progressed = threading.Event()
+
+        def slow_execute(spec, *, checkpoint=None, recorder=None):
+            for index in range(1000):
+                recorder.event("tick", index=index)  # cancellation point
+                if index >= 2:
+                    progressed.set()
+                import time as time_mod
+                time_mod.sleep(0.01)
+            return {"ok": True, "result": {}}
+
+        monkeypatch.setattr(jobs_mod, "execute_spec", slow_execute)
+
+        async def body():
+            manager = JobManager(JobStore(str(tmp_path)))
+            await manager.start()
+            try:
+                job, _ = manager.submit(self._payload(seed=12))
+
+                def ready():
+                    return progressed.is_set()
+
+                for _ in range(400):
+                    if ready():
+                        break
+                    await asyncio.sleep(0.02)
+                manager.cancel(job.id)
+                for _ in range(400):
+                    if job.terminal:
+                        break
+                    await asyncio.sleep(0.02)
+                assert job.state == "cancelled"
+                spans = self._span_records(job)
+                assert validate_spans(spans) == []  # nothing dangling
+                ends = [r for r in spans if r.get("op") == "end"]
+                assert ends, "cancel must close the open spans"
+                assert all(r["status"] == "cancelled" for r in ends)
+                # Innermost-first unwind: attempt closes before job.
+                assert [r["kind"] for r in ends] == ["attempt", "job"]
+            finally:
+                await manager.stop()
+            return True
+
+        assert run(body())
+
+    def test_retried_job_reopens_same_identity(self, tmp_path, monkeypatch):
+        from repro.core.parallel import PoolExhaustedError
+        from repro.obs import validate_spans
+        from repro.service import jobs as jobs_mod
+
+        calls = []
+
+        def flaky(spec, *, checkpoint=None, recorder=None):
+            calls.append(1)
+            if len(calls) == 1:
+                raise PoolExhaustedError([0], rounds=3)
+            return {"ok": True, "result": {}}
+
+        monkeypatch.setattr(jobs_mod, "execute_spec", flaky)
+
+        async def body():
+            manager = JobManager(
+                JobStore(str(tmp_path)), retry_budget=3,
+                backoff_base=0.01, backoff_cap=0.05,
+            )
+            await manager.start()
+            try:
+                job, _ = manager.submit(self._payload(seed=13))
+                for _ in range(400):
+                    if job.terminal:
+                        break
+                    await asyncio.sleep(0.02)
+                assert job.state == "done"
+                spans = self._span_records(job)
+                assert validate_spans(spans) == []
+                ends = [r for r in spans if r.get("op") == "end"]
+                # Attempt 1 unwound as retried, attempt 2 completed ok.
+                assert [(r["kind"], r["status"]) for r in ends] == [
+                    ("attempt", "retried"), ("job", "retried"),
+                    ("attempt", "ok"), ("job", "ok"),
+                ]
+                begins = [r for r in spans if r.get("op") == "begin"]
+                assert [r["id"] for r in begins] == [
+                    job.id, f"{job.id}/a1", job.id, f"{job.id}/a2",
+                ]
+            finally:
+                await manager.stop()
+            return True
+
+        assert run(body())
+
+    def test_lifecycle_feeds_telemetry_counters(self, tmp_path, monkeypatch):
+        from repro.obs import TelemetryRegistry
+        from repro.service import jobs as jobs_mod
+
+        def fake_execute(spec, *, checkpoint=None, recorder=None):
+            recorder.event("convergence")
+            return {"ok": True, "result": {}}
+
+        monkeypatch.setattr(jobs_mod, "execute_spec", fake_execute)
+
+        async def body():
+            registry = TelemetryRegistry()
+            manager = JobManager(JobStore(str(tmp_path)), telemetry=registry)
+            await manager.start()
+            try:
+                job, _ = manager.submit(self._payload(seed=14))
+                manager.submit(self._payload(seed=14))  # dedupe
+                for _ in range(200):
+                    if job.terminal:
+                        break
+                    await asyncio.sleep(0.02)
+                assert job.state == "done"
+            finally:
+                await manager.stop()
+            assert registry.value(
+                "repro_jobs_submitted_total", {"kind": "chaos"}) == 1
+            assert registry.value("repro_jobs_deduplicated_total") == 1
+            assert registry.value(
+                "repro_jobs_completed_total", {"kind": "chaos"}) == 1
+            assert registry.value(
+                "repro_recorder_events_total", {"kind": "convergence"}) == 1
+            assert registry.value("repro_jobs", {"state": "done"}) == 1
+            assert registry.value("repro_queue_depth") == 0
+            return True
+
+        assert run(body())
